@@ -1,0 +1,58 @@
+// Fig. 11 — Gain across different media: air, water, simulated gastric and
+// intestinal fluids, steak, bacon, chicken. Compares the 10-antenna CIB
+// against the 10-antenna same-frequency baseline (both over one antenna).
+// Paper: CIB ~80x in EVERY medium; baseline ~10x (only the extra radiated
+// power); the gain is agnostic to the medium.
+#include <cstdio>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto tag = standard_tag();
+  const auto plan = FrequencyPlan::paper_default();
+  constexpr std::size_t kTrials = 100;
+  constexpr double kDepth = 0.05;
+
+  struct Entry {
+    const char* label;
+    Scenario scenario;
+  };
+  const double standoff = calib::kGainSetupStandoffM;
+  const Entry entries[] = {
+      {"air", air_scenario(standoff)},
+      {"water", water_tank_scenario(kDepth, standoff)},
+      {"gastric fluid",
+       medium_block_scenario(media::gastric_fluid(), kDepth, standoff)},
+      {"intestinal fluid",
+       medium_block_scenario(media::intestinal_fluid(), kDepth, standoff)},
+      {"steak", medium_block_scenario(media::steak(), kDepth, standoff)},
+      {"bacon", medium_block_scenario(media::bacon(), kDepth, standoff)},
+      {"chicken", medium_block_scenario(media::chicken(), kDepth, standoff)},
+  };
+
+  std::printf("=== Fig. 11: median power gain across media (N = 10, %zu "
+              "trials) ===\n",
+              kTrials);
+  std::printf("paper: CIB ~80x, baseline ~10x, independent of medium\n\n");
+  std::printf("%-18s %-20s %-22s %s\n", "medium", "CIB median [p10-p90]",
+              "baseline median", "CIB/baseline");
+
+  Rng rng(11);
+  for (const auto& e : entries) {
+    // The air row measures the tag directly in air (LOS, mild multipath).
+    auto scen = e.scenario;
+    if (std::string(e.label) == "air") scen.multipath_rays = 4;
+    const auto trials = run_gain_trials(scen, tag, plan, kTrials, rng);
+    const auto cib = summarize_cib(trials);
+    const auto base = summarize_baseline(trials);
+    std::printf("%-18s %6.1f [%5.1f-%6.1f] %-22.1f %.1fx\n", e.label, cib.p50,
+                cib.p10, cib.p90, base.p50,
+                base.p50 > 0 ? cib.p50 / base.p50 : 0.0);
+  }
+  std::printf("\npaper headline: up to 8.5x median improvement over the "
+              "optimized multi-antenna baseline\n");
+  return 0;
+}

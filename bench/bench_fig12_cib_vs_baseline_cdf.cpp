@@ -1,0 +1,46 @@
+// Fig. 12 — CDF of the per-location power ratio of CIB to the 10-antenna
+// same-frequency baseline. Paper: CIB wins in >99% of locations, median ~8x
+// (the 8.5x headline), with a tail beyond 100x where the baseline happens to
+// interfere destructively.
+#include <cstdio>
+
+#include "ivnet/common/stats.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto scenario =
+      water_tank_scenario(0.05, calib::kGainSetupStandoffM);
+  const auto plan = FrequencyPlan::paper_default();
+  constexpr std::size_t kTrials = 500;
+
+  Rng rng(12);
+  const auto trials =
+      run_gain_trials(scenario, standard_tag(), plan, kTrials, rng);
+  std::vector<double> ratios;
+  ratios.reserve(trials.size());
+  for (const auto& t : trials) {
+    if (t.baseline_gain > 0.0) ratios.push_back(t.cib_gain / t.baseline_gain);
+  }
+
+  std::printf("=== Fig. 12: CDF of CIB / 10-antenna-baseline power ratio "
+              "(%zu locations) ===\n\n",
+              ratios.size());
+  std::printf("%-12s %s\n", "fraction", "power ratio");
+  for (double q : {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    std::printf("%-12.2f %.2f\n", q, percentile(ratios, q));
+  }
+
+  std::printf("\npaper vs measured:\n");
+  std::printf("  fraction of locations where CIB wins: paper >99%% | "
+              "measured %.1f%%\n",
+              100.0 * fraction_above(ratios, 1.0));
+  std::printf("  median ratio: paper ~8x (8.5x headline) | measured %.1fx\n",
+              median(ratios));
+  std::printf("  locations beyond 100x: paper 'certain locations' | "
+              "measured %.1f%%\n",
+              100.0 * fraction_above(ratios, 100.0));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 15 / Sec. 6.2 — The swine experiment: full Gen2 sessions against tags
+// implanted (gastric) and placed subcutaneously, with the placement
+// variation the paper reports (tag movement with breathing, orientation
+// changes between re-placements). Success criterion: preamble correlation
+// above 0.8, exactly as in the paper.
+//
+// Paper results: gastric standard 3/6; gastric miniature 0/6; subcutaneous
+// standard and miniature successful in all trials.
+#include <cstdio>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+int run_block(const char* label, bool gastric, const TagConfig& tag,
+              int trials, Rng& rng, SessionReport* sample) {
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  cfg.reader.averaging_periods = 10;  // 10 s of 1 s-period averaging
+  int ok = 0;
+  std::printf("-- %s --\n", label);
+  for (int k = 0; k < trials; ++k) {
+    Scenario scen =
+        gastric ? swine_gastric_scenario(calib::kSwineStandoffM,
+                                         rng.uniform(0.0, 0.065))
+                : swine_subcutaneous_scenario(calib::kSwineStandoffM);
+    // Each re-placement changes the tag orientation (Sec. 6.2 methods). A
+    // gastric capsule tumbles freely; a subcutaneous tag is placed flat, so
+    // its misalignment stays small.
+    scen.orientation_rad = rng.uniform(0.0, gastric ? kPi : kPi / 4.0);
+    const auto r = run_gen2_session(scen, tag, cfg, rng);
+    std::printf("  trial %d: powered=%d decoded=%d corr=%.2f "
+                "(env %.2f V, rail %.2f V)\n",
+                k + 1, r.powered, r.rn16_decoded, r.preamble_correlation,
+                r.peak_envelope_v, r.peak_rail_v);
+    if (r.rn16_decoded && sample && !sample->rn16_decoded) *sample = r;
+    ok += r.rn16_decoded;
+  }
+  std::printf("  => %d/%d sessions decoded\n\n", ok, trials);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 15 / Sec. 6.2: in-vivo (swine) reproduction ===\n");
+  std::printf("success = preamble correlation > 0.8 against "
+              "\"110100100011\" (FM0)\n\n");
+
+  Rng rng(1518);
+  SessionReport sample;
+  const int g_std =
+      run_block("standard tag, gastric placement", true, standard_tag(), 6,
+                rng, &sample);
+  const int g_mini = run_block("miniature tag, gastric placement", true,
+                               miniature_tag(), 6, rng, nullptr);
+  const int s_std = run_block("standard tag, subcutaneous", false,
+                              standard_tag(), 3, rng, nullptr);
+  const int s_mini = run_block("miniature tag, subcutaneous", false,
+                               miniature_tag(), 3, rng, nullptr);
+
+  if (sample.rn16_decoded) {
+    std::printf("-- sample decoded response (cf. Fig. 15(a)) --\n");
+    std::printf("  RN16 = 0x%04X, preamble correlation %.2f, "
+                "uplink SNR %.1f dB\n",
+                sample.rn16, sample.preamble_correlation,
+                sample.reader_report.snr_db);
+    std::printf("  averaged waveform (first 96 samples, quantized): ");
+    for (std::size_t i = 0; i < 96 && i < sample.reader_report
+                                            .averaged_signal.size(); i += 8) {
+      std::printf("%+0.2f ", sample.reader_report.averaged_signal[i] /
+                                 (std::abs(sample.reader_report
+                                               .averaged_signal[0]) + 1e-12));
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("paper vs measured:\n");
+  std::printf("  gastric standard:   paper 3/6 | measured %d/6\n", g_std);
+  std::printf("  gastric miniature:  paper 0/6 | measured %d/6\n", g_mini);
+  std::printf("  subcut standard:    paper 3/3 | measured %d/3\n", s_std);
+  std::printf("  subcut miniature:   paper 3/3 | measured %d/3\n", s_mini);
+  return 0;
+}

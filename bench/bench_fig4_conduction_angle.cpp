@@ -1,0 +1,48 @@
+// Fig. 4 — Impact of the threshold effect: conduction angle of the energy
+// harvester when the sensor is (a) near the transmitter in air, (b) at
+// shallow tissue depth, (c) in deep tissue. Regenerated both analytically
+// (conduction_angle) and with the carrier-rate transient doubler of Fig. 1.
+#include <cstdio>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/harvester/diode.hpp"
+#include "ivnet/harvester/transient.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const double vth = 0.3;
+  struct Case {
+    const char* name;
+    double amplitude_v;
+  };
+  const Case cases[] = {
+      {"(a) close in air", 2.0},
+      {"(b) shallow tissue", 0.45},
+      {"(c) deep tissue", 0.2},
+  };
+
+  std::printf("=== Fig. 4: threshold effect on the conduction angle ===\n");
+  std::printf("paper: large conduction angle near the TX; smaller at shallow "
+              "depth; ZERO in deep tissue (no harvesting)\n\n");
+  std::printf("%-20s %-10s %-16s %-18s %-16s %s\n", "scenario", "Vs [V]",
+              "omega [rad]", "duty (analytic)", "duty (doubler)",
+              "V_DC [V]");
+
+  for (const auto& c : cases) {
+    const double omega = conduction_angle(c.amplitude_v, vth);
+    const double duty = conduction_duty(c.amplitude_v, vth);
+    DoublerConfig cfg;
+    cfg.diode = Diode::threshold(vth);
+    cfg.load_ohm = 50e3;
+    const auto sim = simulate_doubler(cfg, c.amplitude_v, 915e6, 300);
+    std::printf("%-20s %-10.2f %-16.3f %-18.3f %-16.3f %.2f\n", c.name,
+                c.amplitude_v, omega, duty, sim.conduction_fraction,
+                sim.final_v_out);
+  }
+
+  std::printf("\ncheck: deep-tissue case harvests nothing "
+              "(V_DC ~ 0, conduction angle = 0): %s\n",
+              conduction_angle(0.2, vth) == 0.0 ? "yes" : "NO");
+  return 0;
+}

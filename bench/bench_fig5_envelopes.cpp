@@ -1,0 +1,50 @@
+// Fig. 5 — Traditional beamforming vs CIB under blind channel conditions.
+// At a "blind spot" (a channel draw where the same-frequency signals add
+// destructively) the traditional transmitter's envelope is stuck below the
+// threshold forever, while CIB's frequency-encoded envelope sweeps through
+// constructive alignments and periodically spikes above it.
+#include <cstdio>
+
+#include "ivnet/cib/baseline.hpp"
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/common/units.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const std::vector<double> offsets = {0, 7, 20};  // 3-antenna CIB
+  Rng rng(5);
+
+  // Find a blind-spot channel draw: same-frequency sum well below 1.
+  std::vector<double> phases(3);
+  double blind_sum = 10.0;
+  while (blind_sum > 0.35) {
+    for (auto& p : phases) p = rng.phase();
+    cplx sum{0, 0};
+    for (double p : phases) sum += std::polar(1.0, p);
+    blind_sum = std::abs(sum);
+  }
+
+  std::printf("=== Fig. 5: envelopes at a blind spot (3 antennas) ===\n");
+  std::printf("channel draw with destructive same-frequency sum: |sum| = "
+              "%.2f of 3.0\n\n",
+              blind_sum);
+
+  const auto env = cib_envelope(offsets, phases, {}, 1.0, 50);
+  std::printf("%-10s %-22s %s\n", "t [s]", "traditional |y| (flat)",
+              "CIB |y(t)|");
+  for (std::size_t i = 0; i < env.size(); i += 2) {
+    const double t = static_cast<double>(i) / 50.0;
+    std::printf("%-10.2f %-22.2f %.2f\n", t, blind_sum, env[i]);
+  }
+
+  double peak = 0.0;
+  for (double v : env) peak = std::max(peak, v);
+  std::printf("\ntraditional beamformer: stuck at %.2f (below a 1.0 "
+              "threshold forever)\n", blind_sum);
+  std::printf("CIB: peak %.2f of 3.0 -> crosses the threshold every period "
+              "despite the blind channel\n", peak);
+  std::printf("peak power advantage at this location: %.1fx\n",
+              (peak * peak) / (blind_sum * blind_sum));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 6 — CIB's power gain from a 5-antenna transmitter: CDFs of the peak
+// power gain for the BEST and WORST frequency combinations under Monte-Carlo
+// channel conditions. The paper's message: frequency selection matters —
+// the good set delivers >=90% of optimal across nearly all channels, the bad
+// set falls below 75% of optimal for half of them.
+#include <cstdio>
+
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/common/stats.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  constexpr std::size_t kTrials = 400;
+
+  // A good set (the paper's first five published offsets) and a bad one
+  // (tight cluster: phases barely evolve over the 1 s period).
+  const std::vector<double> best = {0, 7, 20, 49, 68};
+  const std::vector<double> worst = {0, 1, 2, 3, 4};
+
+  Rng rng_a(6), rng_b(6);
+  const auto best_amp = peak_amplitude_samples(best, kTrials, rng_a);
+  const auto worst_amp = peak_amplitude_samples(worst, kTrials, rng_b);
+
+  std::vector<double> best_gain, worst_gain;
+  for (double a : best_amp.values()) best_gain.push_back(a * a);
+  for (double a : worst_amp.values()) worst_gain.push_back(a * a);
+
+  std::printf("=== Fig. 6: CDF of 5-antenna peak power gain (max = 25) ===\n");
+  std::printf("best set:  {0, 7, 20, 49, 68} Hz\n");
+  std::printf("worst set: {0, 1, 2, 3, 4} Hz (tight cluster)\n\n");
+  std::printf("%-12s %-18s %s\n", "fraction", "best-set gain", "worst-set gain");
+  for (double q : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    std::printf("%-12.2f %-18.1f %.1f\n", q, percentile(best_gain, q),
+                percentile(worst_gain, q));
+  }
+
+  const double best_med = median(best_gain);
+  const double worst_med = median(worst_gain);
+  std::printf("\nmedian gains: best %.1f (%.0f%% of 25), worst %.1f "
+              "(%.0f%% of 25)\n",
+              best_med, best_med / 25.0 * 100.0, worst_med,
+              worst_med / 25.0 * 100.0);
+  std::printf("paper: best set reaches ~90%% of optimal across channels; "
+              "worst set below 75%% for half of them\n");
+  std::printf("measured: worst set below 75%% of optimal in %.0f%% of "
+              "channels\n",
+              100.0 * (1.0 - fraction_above(worst_gain, 0.75 * 25.0)));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark) of the hot computational kernels: the
+// CIB envelope evaluator behind the Eq. 10 optimizer, the peak search, the
+// FM0 decoder, the PIE codec, and the quasi-static harvester.
+#include <benchmark/benchmark.h>
+
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/fm0.hpp"
+#include "ivnet/gen2/pie.hpp"
+#include "ivnet/harvester/harvester.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+std::vector<double> plan_offsets(std::int64_t n) {
+  const std::vector<double> all = {0, 7, 20, 49, 68, 73, 90, 113, 121, 137};
+  return std::vector<double>(all.begin(), all.begin() + n);
+}
+
+void BM_Envelope(benchmark::State& state) {
+  const auto offsets = plan_offsets(state.range(0));
+  std::vector<double> phases(offsets.size(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cib_envelope(offsets, phases, {}, 1.0, 2048));
+  }
+}
+BENCHMARK(BM_Envelope)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_PeakEnvelope(benchmark::State& state) {
+  const auto offsets = plan_offsets(10);
+  Rng rng(1);
+  std::vector<double> phases(offsets.size());
+  for (auto& p : phases) p = rng.phase();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peak_envelope(offsets, phases, 1.0));
+  }
+}
+BENCHMARK(BM_PeakEnvelope);
+
+void BM_ExpectedPeakGain(benchmark::State& state) {
+  const auto offsets = plan_offsets(10);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_peak_amplitude(
+        offsets, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_ExpectedPeakGain)->Arg(8)->Arg(32);
+
+void BM_PieEncodeDecode(benchmark::State& state) {
+  const auto bits = gen2::QueryCommand{}.encode();
+  for (auto _ : state) {
+    const auto env = gen2::pie_encode(bits, gen2::PieTiming{}, 800e3, true);
+    benchmark::DoNotOptimize(gen2::pie_decode(env, 800e3));
+  }
+}
+BENCHMARK(BM_PieEncodeDecode);
+
+void BM_Fm0Decode(benchmark::State& state) {
+  gen2::Bits bits(16, true);
+  const auto sig = gen2::fm0_modulate(bits, 40e3, 800e3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen2::fm0_decode(sig, 16, 40e3, 800e3));
+  }
+}
+BENCHMARK(BM_Fm0Decode);
+
+void BM_HarvesterRun(benchmark::State& state) {
+  const Harvester h{HarvesterConfig{}};
+  const std::vector<double> env(20000, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.run(env, 20e3));
+  }
+}
+BENCHMARK(BM_HarvesterRun);
+
+}  // namespace

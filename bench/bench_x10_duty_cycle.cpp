@@ -1,0 +1,76 @@
+// X10 — Adaptive duty cycling (Sec. 2.3 / Sec. 3): at marginal depths the
+// sensor cannot afford a query every CIB period; the reader-side scheduler
+// interleaves charge-only periods so every attempted query finds a charged
+// sensor. Compares a naive query-every-period policy against the adaptive
+// scheduler across depth.
+#include <cstdio>
+
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/cib/scheduler.hpp"
+#include "ivnet/harvester/harvester.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+/// Energy the tag banks over one CIB period at this depth (median channel).
+double energy_per_period(double depth_m, Rng& rng) {
+  const auto scen =
+      water_tank_scenario(depth_m, calib::kRangeSetupStandoffM);
+  const auto tag = standard_tag();
+  const auto plan = FrequencyPlan::paper_default().truncated(8);
+  const auto amps =
+      array_amplitudes(scen, tag, 8, plan.center_hz(), rng);
+  std::vector<double> phases(8);
+  for (auto& p : phases) p = rng.phase();
+  auto env = cib_envelope(plan.offsets_hz(), phases, amps, 1.0, 20000);
+  const Harvester harvester(tag.harvester);
+  return harvester.run(env, 20e3).harvested_energy_j;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== X10: adaptive duty cycling at marginal depths ===\n\n");
+  constexpr double kBurst = 3e-6;  // J per query+reply at the tag
+  constexpr int kPeriods = 120;    // 2 minutes of 1 s periods
+
+  std::printf("%-12s %-16s %-22s %-22s\n", "depth [cm]", "uJ/period",
+              "naive ok/attempted", "adaptive ok/attempted");
+  Rng rng(101);
+  for (double depth_cm : {14.0, 17.0, 19.0, 21.0, 22.5}) {
+    const double e = energy_per_period(depth_cm / 100.0, rng);
+
+    // Naive: query every period; succeeds only if one period's energy
+    // covers the burst.
+    int naive_ok = 0;
+    for (int k = 0; k < kPeriods; ++k) naive_ok += (e >= kBurst);
+
+    // Adaptive: bank energy, query when the margin is met.
+    SchedulerConfig cfg;
+    cfg.burst_energy_j = kBurst;
+    DutyCycleScheduler sched(cfg);
+    int adaptive_ok = 0, adaptive_attempts = 0;
+    for (int k = 0; k < kPeriods; ++k) {
+      if (sched.on_period(e) == ScheduleAction::kQuery) {
+        ++adaptive_attempts;
+        if (sched.banked_energy_j() >= kBurst) {
+          ++adaptive_ok;
+          sched.on_reply();
+        } else {
+          sched.on_silence();
+        }
+      }
+    }
+    std::printf("%-12.1f %-16.2f %3d/%-18d %3d/%-18d\n", depth_cm, e * 1e6,
+                naive_ok, kPeriods, adaptive_ok, adaptive_attempts);
+  }
+
+  std::printf("\nnaive polling wastes every attempt once one period's "
+              "harvest drops below the burst cost; the adaptive scheduler "
+              "trades cadence for reliability (Sec. 2.3's accumulate-then-"
+              "communicate duty cycling)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// X11 — Mobility robustness (Sec. 3.7): CIB vs channel-feedback MIMO under
+// breathing motion. A hypothetical genie MIMO beamformer with fresh CSI
+// beats CIB; give its estimate realistic staleness (the sensor can only be
+// polled occasionally, and breathing moves it millimeters per second) and
+// the precoded beam decoheres while CIB — which never needed an estimate —
+// is untouched. This is the quantitative version of why channel-feedback
+// beamforming "is not applicable for battery-free devices".
+#include <cstdio>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/common/stats.hpp"
+#include "ivnet/sim/mobility.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto offsets = FrequencyPlan::paper_default().truncated(8).offsets_hz();
+  MotionModel breathing;
+  breathing.breathing_amplitude_m = 0.006;  // 6 mm respiratory displacement
+  breathing.wavelength_m = 0.04;            // lambda in tissue at 915 MHz
+  // Slow gastric drift on top of the breath: without it the estimate
+  // re-coheres every exact breathing period.
+  breathing.drift_m_per_s = 0.0008;
+
+  std::printf("=== X11: CIB vs stale-CSI MIMO under breathing motion "
+              "(8 antennas) ===\n");
+  std::printf("motion: +/-%.0f mm at %.2f Hz, tissue wavelength %.0f mm\n\n",
+              breathing.breathing_amplitude_m * 1e3, breathing.breathing_hz,
+              breathing.wavelength_m * 1e3);
+
+  std::printf("%-18s %-14s %-14s %-14s %s\n", "CSI staleness", "MIMO median",
+              "MIMO p10", "CIB median", "CIB wins");
+  Rng rng(111);
+  for (double staleness : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
+    SampleSet mimo, cib;
+    int wins = 0, samples = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+      const std::vector<double> amps(8, 1.0);
+      const TimeVaryingChannel tv(make_blind_channel(amps, rng), breathing);
+      for (double t = staleness; t < staleness + 4.0; t += 0.8) {
+        const double m = stale_mimo_amplitude(tv, t, staleness);
+        const double c = cib_peak_amplitude_at(tv, t, offsets);
+        mimo.add(m * m);
+        cib.add(c * c);
+        wins += (c > m);
+        ++samples;
+      }
+    }
+    std::printf("%-18.2f %-14.1f %-14.1f %-14.1f %d%%\n", staleness,
+                mimo.median(), mimo.summary().p10, cib.median(),
+                100 * wins / samples);
+  }
+
+  std::printf("\nfresh CSI (staleness 0): MIMO hits the N^2 = 64 bound and "
+              "beats CIB everywhere — IF you could get it.\n");
+  std::printf("one breath later the estimate is junk; CIB never had one "
+              "and never cared (Sec. 3.7 robustness to mobility).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// X12 — The miniature-antenna challenge (Sec. 2.2.2) quantified: sweep the
+// tag's effective aperture (its physical size) and report the achievable
+// water depth with 1 vs 8 CIB antennas. Eq. 3 says harvested power scales
+// linearly with aperture; the exponential tissue loss converts every
+// aperture decade into a fixed depth step — and CIB's gain buys the same
+// step back, which is why millimeter sensors become reachable at all.
+#include <cstdio>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  std::printf("=== X12: tag aperture vs achievable water depth ===\n");
+  std::printf("paper Sec. 2.2.2: harvested power ~ aperture (Eq. 3); the\n"
+              "miniature tag's ~100x smaller aperture is the reason it dies "
+              "at superficial depths without CIB\n\n");
+
+  const auto plan = FrequencyPlan::paper_default();
+  std::printf("%-18s %-14s %-16s %-16s %s\n", "aperture [cm^2]",
+              "size class", "depth 1 ant [cm]", "depth 8 ant [cm]",
+              "CIB depth bonus");
+
+  Rng rng(12);
+  struct Row {
+    double cap_m2;
+    const char* label;
+  };
+  const Row rows[] = {
+      {3.0e-3, "credit-card tag"}, {1.0e-3, "large label"},
+      {3.0e-4, "small label"},     {1.0e-4, "button"},
+      {2.5e-5, "millimeter tag"},  {6.0e-6, "injectable"},
+  };
+  for (const auto& row : rows) {
+    TagConfig tag = standard_tag();
+    tag.antenna = Antenna("swept", 2.0, row.cap_m2);
+    tag.antenna.set_polarization_factor(0.5);
+    const double d1 =
+        max_water_depth(tag, plan.truncated(1), 11, rng) * 100.0;
+    const double d8 =
+        max_water_depth(tag, plan.truncated(8), 11, rng) * 100.0;
+    std::printf("%-18.3f %-14s %-16.1f %-16.1f +%.1f cm\n",
+                row.cap_m2 * 1e4, row.label, d1, d8, d8 - d1);
+  }
+
+  std::printf("\nreadings: every ~10x aperture loss costs a fixed depth "
+              "step (exponential medium); 8-antenna CIB pays a ~constant "
+              "step back for every size class — which is exactly how the "
+              "paper reaches millimeter sensors at >10 cm\n");
+  return 0;
+}

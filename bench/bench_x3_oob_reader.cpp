@@ -1,0 +1,77 @@
+// X3 — Sec. 4 out-of-band reader ablation: (1) an in-band reader saturates
+// on CIB self-jamming while the out-of-band + SAW design decodes; (2) SAW
+// rejection sweep; (3) the 1-second coherent averaging knee that recovers
+// deep-tissue uplinks.
+#include <cstdio>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/gen2/fm0.hpp"
+#include "ivnet/reader/oob_reader.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+std::vector<double> reflection() {
+  const gen2::Bits rn16 = {true, false, true, true, false, false, true, false,
+                           true, true, false, true, false, false, true, true};
+  auto g = gen2::fm0_modulate(rn16, 40e3, 800e3);
+  for (auto& s : g) s *= 0.4;
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const auto gamma = reflection();
+  const double jam_w = 0.137;  // 8 x 1 W antennas, ~1 m away (21 dBm at RX)
+  const double rt_deep = 3e-6;  // deep-tissue round-trip voltage gain
+
+  std::printf("=== X3: out-of-band reader ablations ===\n\n");
+
+  std::printf("-- (1) in-band vs out-of-band (deep-tissue link, jam %.0f "
+              "dBm) --\n",
+              watts_to_dbm(jam_w));
+  std::printf("%-26s %-12s %-10s %-10s %s\n", "configuration", "saturated",
+              "snr [dB]", "corr", "decoded");
+  struct Case {
+    const char* name;
+    double rejection_db;
+    std::size_t periods;
+  };
+  const Case cases[] = {
+      {"in-band (no SAW)", 0.0, 1},
+      {"out-of-band + SAW 30 dB", 30.0, 1},
+      {"out-of-band + SAW 50 dB", 50.0, 1},
+      {"OOB + SAW 50 dB + avg 10", 50.0, 10},
+  };
+  for (const auto& c : cases) {
+    OobReaderConfig cfg;
+    cfg.saw_rejection_db = c.rejection_db;
+    cfg.averaging_periods = c.periods;
+    Rng rng(3);
+    const auto r = OobReader(cfg).decode(gamma, rt_deep, jam_w, 40e3, 16, rng);
+    std::printf("%-26s %-12s %-10.1f %-10.2f %s\n", c.name,
+                r.saturated ? "YES" : "no", r.snr_db, r.preamble_correlation,
+                r.success ? "yes" : "NO");
+  }
+
+  std::printf("\n-- (2) averaging sweep at a weak uplink (rt gain %.0e) --\n",
+              rt_deep / 3.0);
+  std::printf("%-10s %-10s %-10s %s\n", "periods", "snr [dB]", "corr",
+              "decoded");
+  for (std::size_t periods : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
+    OobReaderConfig cfg;
+    cfg.averaging_periods = periods;
+    Rng rng(4);
+    const auto r =
+        OobReader(cfg).decode(gamma, rt_deep / 3.0, jam_w, 40e3, 16, rng);
+    std::printf("%-10zu %-10.1f %-10.2f %s\n", periods, r.snr_db,
+                r.preamble_correlation, r.success ? "yes" : "no");
+  }
+  std::printf("\npaper: the reader \"averages responses over 1-second "
+              "intervals\" (one CIB period) to boost SNR; saturation "
+              "without out-of-band separation is the Sec. 4 self-jamming "
+              "problem\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// X4 — Sec. 3.7's two-stage extension: a discovery stage optimized for peak
+// power (wakes the sensor despite unknown attenuation), then a steady stage
+// that re-optimizes for conduction fraction once the attenuation is known.
+// Reports delivered DC power through the quasi-static harvester for both
+// stages at several normalized thresholds.
+#include <cstdio>
+
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/cib/two_stage.hpp"
+#include "ivnet/harvester/harvester.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  OptimizerConfig cfg;
+  cfg.num_antennas = 8;
+  cfg.mc_trials = 48;
+  cfg.iterations = 150;
+  cfg.restarts = 2;
+  TwoStageController controller(cfg);
+  Rng rng(44);
+
+  std::printf("=== X4: two-stage CIB (discovery -> steady), N = 8 ===\n\n");
+  const auto discovery = controller.plan_discovery(rng);
+  std::printf("discovery plan (max peak):");
+  for (double f : discovery.offsets_hz) std::printf(" %.0f", f);
+  std::printf("\n  E[peak amplitude] = %.2f / 8\n\n", discovery.objective_value);
+
+  std::printf("%-22s %-22s %-22s %s\n", "normalized threshold",
+              "discovery conduction", "steady conduction", "improvement");
+  for (double threshold : {1.5, 2.5, 3.5, 4.5}) {
+    const auto steady = controller.plan_steady(threshold, rng);
+    const double disc_frac =
+        controller.conduction_fraction(discovery.offsets_hz, threshold);
+    const double steady_frac =
+        controller.conduction_fraction(steady.offsets_hz, threshold);
+    std::printf("%-22.1f %-22.3f %-22.3f %+.0f%%\n", threshold, disc_frac,
+                steady_frac,
+                disc_frac > 0 ? 100.0 * (steady_frac / disc_frac - 1.0) : 0.0);
+  }
+
+  // Delivered DC power comparison through the harvester at threshold ~ the
+  // per-antenna amplitude (envelope in units of one antenna's volts).
+  std::printf("\n-- delivered DC energy over one period (harvester sim, "
+              "per-antenna amplitude 0.25 V) --\n");
+  Rng phase_rng(7);
+  const double unit_v = 0.25;  // each antenna delivers 0.25 V at the sensor
+  HarvesterConfig hcfg;
+  const Harvester harvester(hcfg);
+  auto delivered = [&](const std::vector<double>& offsets) {
+    double energy = 0.0;
+    const int draws = 10;
+    Rng local(99);
+    for (int k = 0; k < draws; ++k) {
+      std::vector<double> phases(offsets.size());
+      for (auto& p : phases) p = local.phase();
+      auto env = cib_envelope(offsets, phases, {}, 1.0, 20000);
+      for (auto& v : env) v *= unit_v;
+      energy += harvester.run(env, 20e3).harvested_energy_j;
+    }
+    return energy / draws;
+  };
+  const auto steady = controller.plan_steady(
+      harvester.min_steady_amplitude() / unit_v, rng);
+  const double e_disc = delivered(discovery.offsets_hz);
+  const double e_steady = delivered(steady.offsets_hz);
+  std::printf("discovery plan: %.3g J/period | steady plan: %.3g J/period "
+              "(%+.0f%%)\n",
+              e_disc, e_steady,
+              e_disc > 0 ? 100.0 * (e_steady / e_disc - 1.0) : 0.0);
+  std::printf("\npaper: \"switch to a steady stage where it maximizes the "
+              "conduction angle\" once attenuation is known\n");
+  return 0;
+}

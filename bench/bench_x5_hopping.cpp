@@ -1,0 +1,59 @@
+// X5 — Sec. 3.7 adaptive frequency hopping ablation: when the whole CIB
+// band sits in a frequency-selective fade, the Hz-scale offsets cannot help
+// (they all fade together). Hopping the center carrier across the ISM band
+// recovers the loss. Compares delivered peak amplitude with a fixed center
+// vs the adaptive hopper across many multipath draws.
+#include <cstdio>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/cib/hopping.hpp"
+#include "ivnet/common/stats.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto offsets = FrequencyPlan::paper_default().truncated(8).offsets_hz();
+  HopperConfig cfg;
+  cfg.candidate_centers_hz = {903e6, 909e6, 915e6, 921e6, 927e6};
+
+  Rng rng(55);
+  const std::vector<double> amps(8, 1.0);
+  SampleSet fixed, hopped, oracle;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto ch = make_multipath_channel(amps, 8, 120e-9, rng);
+    std::vector<double> peaks(cfg.candidate_centers_hz.size());
+    for (std::size_t b = 0; b < peaks.size(); ++b) {
+      peaks[b] = band_peak_amplitude(ch, offsets,
+                                     cfg.candidate_centers_hz[b] - 915e6);
+    }
+    FrequencyHopper hopper(cfg);
+    for (int step = 0; step < 12; ++step) {
+      hopper.report(peaks[hopper.current_band()]);
+    }
+    fixed.add(peaks[2] * peaks[2]);  // fixed 915 MHz center
+    hopped.add(peaks[hopper.current_band()] * peaks[hopper.current_band()]);
+    double best = 0.0;
+    for (double p : peaks) best = std::max(best, p * p);
+    oracle.add(best);
+  }
+
+  std::printf("=== X5: adaptive center-frequency hopping "
+              "(frequency-selective channel, N = 8) ===\n\n");
+  std::printf("%-22s %-12s %-12s %-12s\n", "strategy", "p10", "median", "p90");
+  const auto f = fixed.summary();
+  const auto h = hopped.summary();
+  const auto o = oracle.summary();
+  std::printf("%-22s %-12.1f %-12.1f %-12.1f\n", "fixed 915 MHz", f.p10,
+              f.p50, f.p90);
+  std::printf("%-22s %-12.1f %-12.1f %-12.1f\n", "adaptive hopper", h.p10,
+              h.p50, h.p90);
+  std::printf("%-22s %-12.1f %-12.1f %-12.1f\n", "oracle best band", o.p10,
+              o.p50, o.p90);
+  std::printf("\nhopper vs fixed: %+.0f%% median peak power, p10 %+.0f%% "
+              "(the tail is where fading hurts)\n",
+              100.0 * (h.p50 / f.p50 - 1.0), 100.0 * (h.p10 / f.p10 - 1.0));
+  std::printf("paper: \"adaptively hop the center frequency to a different "
+              "band to improve performance\" (Sec. 3.7)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// X6 — Safety/compliance table behind the Sec. 1 / Sec. 7 claims: the CIB
+// prototype's time-averaged exposure is linear in N (the N^2 spikes are
+// duty-cycled), so it stays within FCC MPE and SAR limits at bench
+// distances, while naively boosting a single antenna's power to match the
+// same delivered peak would not.
+#include <cstdio>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/sim/safety.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto limits = fcc_limits(915e6);
+  std::printf("=== X6: RF exposure compliance (915 MHz) ===\n");
+  std::printf("FCC MPE %.1f W/m^2 (30-min avg), SAR limit %.1f W/kg, "
+              "Part 15 EIRP %.0f dBm\n\n",
+              limits.mpe_w_per_m2, limits.sar_limit_w_per_kg,
+              limits.eirp_limit_dbm);
+
+  std::printf("-- CIB prototype (1 W + 7 dBi per antenna, 10%% TX duty, "
+              "skin at 1 m) --\n");
+  std::printf("%-10s %-16s %-16s %-14s %s\n", "antennas", "avg [W/m^2]",
+              "peak [W/m^2]", "SAR [W/kg]", "MPE ok");
+  for (std::size_t n : {1u, 2u, 4u, 8u, 10u}) {
+    const auto r = assess_exposure(n, 1.0, 7.0, 1.0, media::skin(), 915e6,
+                                   0.1);
+    std::printf("%-10zu %-16.3f %-16.1f %-14.4f %s\n", n,
+                r.avg_density_w_per_m2, r.peak_density_w_per_m2,
+                r.surface_sar_w_per_kg, r.mpe_ok ? "yes" : "NO");
+  }
+
+  std::printf("\n-- the naive alternative: ONE antenna boosted to deliver "
+              "the same peak as 10-antenna CIB --\n");
+  // Same peak as N^2 = 100x of one watt -> 100 W continuous.
+  const auto naive = assess_exposure(1, 100.0, 7.0, 1.0, media::skin(),
+                                     915e6, 1.0);
+  std::printf("100 W single antenna: avg %.1f W/m^2 (limit %.1f) -> MPE %s, "
+              "SAR %.2f W/kg -> %s, EIRP %.0f dBm -> %s\n",
+              naive.avg_density_w_per_m2, limits.mpe_w_per_m2,
+              naive.mpe_ok ? "ok" : "VIOLATION",
+              naive.surface_sar_w_per_kg, naive.sar_ok ? "ok" : "VIOLATION",
+              naive.eirp_dbm, naive.eirp_ok ? "ok" : "VIOLATION");
+
+  std::printf("\n-- max compliant per-antenna power vs duty cycle "
+              "(8 antennas, skin at 0.5 m) --\n");
+  std::printf("%-12s %s\n", "duty", "max power [dBm]");
+  for (double duty : {1.0, 0.5, 0.2, 0.1, 0.05, 0.02}) {
+    const double p = max_compliant_power_w(8, 7.0, 0.5, 915e6, duty);
+    std::printf("%-12.2f %.1f\n", duty, watts_to_dbm(p));
+  }
+  std::printf("\npaper: \"boosting the transmitted power neither scales "
+              "well nor is safe\" (Sec. 1); CIB's \"intrinsic duty-cycled "
+              "operation makes it FCC compliant\" (Sec. 7)\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// X8 — Clock-synchronization ablation: the CDA-2900 Octoclock (shared
+// 10 MHz + PPS, Sec. 5(a)) vs free-running USRPs. CIB's integer-Hz offsets
+// and its coherent-command requirement both die without the shared
+// reference: ppm-scale carrier drift swamps the plan, and trigger skew
+// tears the synchronized PIE envelopes apart.
+#include <cstdio>
+
+#include "ivnet/cib/transmitter.hpp"
+#include "ivnet/common/stats.hpp"
+#include "ivnet/common/units.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/pie.hpp"
+#include "ivnet/rf/channel.hpp"
+#include "ivnet/signal/envelope.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  const auto plan = FrequencyPlan::paper_default().truncated(8);
+  std::printf("=== X8: Octoclock vs free-running clocks (8 antennas) ===\n\n");
+
+  // (1) Offset integrity.
+  {
+    Rng rng(81);
+    RadioArrayConfig good_cfg;
+    RadioArrayConfig bad_cfg;
+    bad_cfg.clocks = ClockDistribution::free_running();
+    const CibTransmitter good(plan, good_cfg, rng);
+    const CibTransmitter bad(plan, bad_cfg, rng);
+    double good_err = 0.0, bad_err = 0.0;
+    const auto good_actual = good.radios().actual_offsets_hz();
+    const auto bad_actual = bad.radios().actual_offsets_hz();
+    for (std::size_t i = 0; i < plan.num_antennas(); ++i) {
+      good_err = std::max(good_err,
+                          std::abs(good_actual[i] - plan.offsets_hz()[i]));
+      bad_err = std::max(bad_err,
+                         std::abs(bad_actual[i] - plan.offsets_hz()[i]));
+    }
+    std::printf("-- (1) worst carrier-offset error --\n");
+    std::printf("octoclock:    %.3g Hz (plan offsets intact)\n", good_err);
+    std::printf("free-running: %.0f Hz (vs plan offsets of 0-113 Hz: "
+                "the set is destroyed)\n\n",
+                bad_err);
+  }
+
+  // (2) Envelope periodicity: with drifting carriers the 1 s recurrence of
+  // the peak (which the reader schedules queries around) disappears.
+  {
+    Rng rng(82);
+    RadioArrayConfig bad_cfg;
+    bad_cfg.clocks = ClockDistribution::free_running();
+    const CibTransmitter bad(plan, bad_cfg, rng);
+    const auto actual = bad.radios().actual_offsets_hz();
+    double min_beat = 1e18;
+    for (std::size_t i = 1; i < actual.size(); ++i) {
+      min_beat = std::min(min_beat, std::abs(actual[i] - actual[0]));
+    }
+    std::printf("-- (2) envelope periodicity --\n");
+    std::printf("octoclock: period = 1.000 s (gcd of integer offsets)\n");
+    std::printf("free-running: smallest beat %.0f Hz -> envelope pattern "
+                "never repeats on the reader's 1 s schedule\n\n",
+                min_beat);
+  }
+
+  // (3) Command envelope alignment: PPS skew shifts each antenna's PIE
+  // notches; the tag sees smeared symbol edges.
+  {
+    const auto query_env = gen2::pie_encode(gen2::QueryCommand{}.encode(),
+                                            gen2::PieTiming{}, 800e3, true);
+    SampleSet good_fluct, bad_fluct;
+    for (int trial = 0; trial < 10; ++trial) {
+      for (const bool free_running : {false, true}) {
+        Rng rng(900 + trial);
+        RadioArrayConfig cfg;
+        if (free_running) cfg.clocks = ClockDistribution::free_running();
+        const CibTransmitter tx(plan, cfg, rng);
+        const auto waves = tx.radios().transmit(query_env);
+        // Sum the envelopes during a known CW stretch (first 10 samples are
+        // lead-in carrier): misaligned notches create partial dips.
+        std::size_t notch_smear = 0;
+        const auto n = waves[0].size();
+        for (std::size_t i = 0; i < n; ++i) {
+          int high = 0, low = 0;
+          for (const auto& w : waves) {
+            (std::abs(w.samples[i]) > 1e-6 ? high : low)++;
+          }
+          if (high != 0 && low != 0) ++notch_smear;  // disagreeing antennas
+        }
+        (free_running ? bad_fluct : good_fluct)
+            .add(static_cast<double>(notch_smear));
+      }
+    }
+    std::printf("-- (3) smeared symbol-edge samples per query --\n");
+    std::printf("octoclock:    median %.0f samples\n", good_fluct.median());
+    std::printf("free-running: median %.0f samples (tag sees corrupted "
+                "PIE intervals)\n",
+                bad_fluct.median());
+  }
+
+  std::printf("\npaper: \"The USRPs are all connected to a CDA-2900 "
+              "Octoclock with a 10 MHz reference clock and a PPS "
+              "synchronization pulse\" (Sec. 5(a)) — this is why.\n");
+  return 0;
+}

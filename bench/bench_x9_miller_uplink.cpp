@@ -1,0 +1,69 @@
+// X9 — Uplink modulation ablation: FM0 vs Miller M2/M4/M8 across SNR.
+// The paper's prototype uses FM0; the Gen2 Query's M field offers Miller
+// modes whose longer symbols buy processing gain — the knob a deep-tissue
+// deployment would turn when the 1-second averaging alone is not enough.
+#include <cstdio>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/gen2/fm0.hpp"
+#include "ivnet/gen2/miller.hpp"
+
+namespace {
+
+using namespace ivnet;
+using namespace ivnet::gen2;
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = rng.uniform() < 0.5;
+  return bits;
+}
+
+double frame_success_rate(Miller mode, double sigma, int trials, Rng& rng) {
+  int ok = 0;
+  for (int k = 0; k < trials; ++k) {
+    const Bits bits = random_bits(16, rng);
+    std::vector<double> sig =
+        mode == Miller::kFm0 ? fm0_modulate(bits, 40e3, 1.6e6)
+                             : miller_modulate(mode, bits, 40e3, 1.6e6);
+    for (auto& s : sig) s += rng.normal(0.0, sigma);
+    bool good = false;
+    if (mode == Miller::kFm0) {
+      const auto d = fm0_decode(sig, 16, 40e3, 1.6e6, 0.2);
+      good = d.valid && d.bits == bits;
+    } else {
+      const auto d = miller_decode(mode, sig, 16, 40e3, 1.6e6, 0.2);
+      good = d.valid && d.bits == bits;
+    }
+    ok += good;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== X9: uplink modulation vs noise (RN16 frame success) "
+              "===\n\n");
+  std::printf("%-12s %-10s %-10s %-10s %-10s\n", "noise sigma", "FM0",
+              "Miller-2", "Miller-4", "Miller-8");
+
+  Rng rng(91);
+  for (double sigma : {1.0, 2.0, 2.8, 3.6, 4.4, 5.2}) {
+    std::printf("%-12.1f %-10.2f %-10.2f %-10.2f %-10.2f\n", sigma,
+                frame_success_rate(Miller::kFm0, sigma, 40, rng),
+                frame_success_rate(Miller::kM2, sigma, 40, rng),
+                frame_success_rate(Miller::kM4, sigma, 40, rng),
+                frame_success_rate(Miller::kM8, sigma, 40, rng));
+  }
+
+  std::printf("\nprocessing gains over FM0: M2 %.1f dB, M4 %.1f dB, "
+              "M8 %.1f dB\n",
+              miller_processing_gain_db(Miller::kM2),
+              miller_processing_gain_db(Miller::kM4),
+              miller_processing_gain_db(Miller::kM8));
+  std::printf("trade-off: an M8 RN16 takes %.0fx the air time of FM0 — "
+              "still negligible against the 1 s CIB period\n",
+              8.0);
+  return 0;
+}

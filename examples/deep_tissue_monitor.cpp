@@ -1,0 +1,69 @@
+// Deep-tissue monitor: the paper's motivating application (Sec. 1) — a
+// battery-free sensor in the stomach of a large mammal, read by an
+// 8-antenna CIB beamformer standing half a meter from the body.
+//
+// Runs the complete sample-accurate dialogue each round: charge, Query on
+// the CIB envelope peak, ACK, Req_RN, then Read the sensor's USER memory to
+// recover temperature / pH / pressure, while the "animal" breathes (depth
+// jitter) and the capsule tumbles (orientation jitter).
+//
+//   $ ./deep_tissue_monitor [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/waveform_session.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivnet;
+
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  WaveformSessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  cfg.charge_time_s = 0.2;
+  cfg.reader.averaging_periods = 10;  // 10 s of coherent averaging
+
+  Rng rng(4242);
+  WaveformSession session(cfg, rng);
+
+  int powered = 0, read_ok = 0;
+  std::printf("monitoring a gastric sensor: %d rounds, %zu antennas, "
+              "%.0f cm lateral standoff\n\n",
+              rounds, cfg.plan.num_antennas(),
+              calib::kSwineStandoffM * 100.0);
+  std::printf("%-6s %-10s %-8s %-10s %-8s %-8s %s\n", "round", "depth[cm]",
+              "orient", "temp[C]", "pH", "P[mmHg]", "outcome");
+
+  for (int k = 0; k < rounds; ++k) {
+    const double extra_depth = rng.uniform(0.0, 0.05);
+    const double orientation = rng.uniform(0.0, kPi);
+    Scenario scene =
+        swine_gastric_scenario(calib::kSwineStandoffM, extra_depth);
+    scene.orientation_rad = orientation;
+
+    session.new_trial(rng);  // fresh PLL phases each round
+    const SensorReadReport r = session.run_sensor_read(
+        scene, standard_tag(), /*sensor_time_s=*/k * 10.0, rng);
+    powered += r.powered;
+    read_ok += r.read_ok;
+    if (r.read_ok) {
+      std::printf("%-6d %-10.1f %-8.2f %-10.2f %-8.2f %-8.1f vitals read "
+                  "(%d cmds)\n",
+                  k, scene.depth_m * 100.0, orientation, r.temperature_c,
+                  r.ph, r.pressure_mmhg, r.commands_sent);
+    } else {
+      std::printf("%-6d %-10.1f %-8.2f %-10s %-8s %-8s %s\n", k,
+                  scene.depth_m * 100.0, orientation, "-", "-", "-",
+                  r.powered ? (r.inventoried ? "access lost" : "uplink lost")
+                            : "below threshold");
+    }
+  }
+
+  std::printf("\npowered %d/%d rounds, vitals read %d/%d rounds\n", powered,
+              rounds, read_ok, rounds);
+  std::printf("(the paper's in-vivo gastric sessions succeeded in ~half of "
+              "the trials; failures track tag motion and orientation)\n");
+  return 0;
+}

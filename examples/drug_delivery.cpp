@@ -1,0 +1,78 @@
+// Drug delivery: the paper's actuation application (Sec. 1: implants
+// "delivering drugs"). The clinician writes a dose request into the
+// implant's USER memory over the CIB link; the actuator banks harvested
+// energy across CIB periods (pumping costs far more than telemetry) and
+// delivers when — and only when — the energy, rate-limit, and lifetime
+// budget all allow it.
+//
+//   $ ./drug_delivery [dose_tenths_ul]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/harvester/harvester.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+#include "ivnet/tag/actuator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivnet;
+
+  const auto dose =
+      static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 20);
+
+  // The implant sits in the stomach; compute the median per-period power
+  // the 8-antenna CIB beamformer delivers to its harvester.
+  Rng rng(55);
+  const auto scen = swine_gastric_scenario(calib::kSwineStandoffM);
+  const auto tag = standard_tag();
+  const auto plan = FrequencyPlan::paper_default().truncated(8);
+  const auto amps = array_amplitudes(scen, tag, 8, plan.center_hz(), rng);
+  std::vector<double> phases(8);
+  for (auto& p : phases) p = rng.phase();
+  auto env = cib_envelope(plan.offsets_hz(), phases, amps, 1.0, 20000);
+  const Harvester harvester(tag.harvester);
+  const double watts = harvester.run(env, 20e3).harvested_energy_j;  // J per 1 s
+
+  std::printf("gastric implant: %.2f uW average harvested through the "
+              "abdominal wall\n",
+              watts * 1e6);
+
+  // The reader writes the dose request (over the Gen2 Write path exercised
+  // in tests/memory_test.cpp); here we drive the actuator period by period.
+  gen2::TagMemory memory;
+  ActuatorConfig cfg;
+  cfg.energy_per_tenth_ul_j = 5e-6;
+  cfg.min_interval_s = 30.0;
+  cfg.max_total_tenths = 100;
+  DrugDeliveryActuator actuator(cfg);
+
+  memory.write(gen2::MemBank::kUser,
+               static_cast<std::size_t>(ActuatorWord::kDoseRequest), dose);
+  std::printf("dose request: %.1f uL (%.0f uJ of pump energy needed)\n\n",
+              dose / 10.0, dose * cfg.energy_per_tenth_ul_j * 1e6);
+
+  std::printf("%-10s %-12s %-14s %s\n", "t [s]", "status", "reservoir[uJ]",
+              "delivered");
+  for (int t = 0; t <= 600; ++t) {
+    const bool done = actuator.step(1.0, watts, memory);
+    if (t % 30 == 0 || done) {
+      const char* status_names[] = {"idle", "charging", "delivered",
+                                    "rate-limited", "limit-reached"};
+      std::printf("%-10d %-12s %-14.1f %u x, %.1f uL total\n", t,
+                  status_names[static_cast<int>(actuator.status())],
+                  actuator.reservoir_j() * 1e6, actuator.doses_delivered(),
+                  actuator.total_delivered_tenths() / 10.0);
+    }
+    if (done) break;
+  }
+
+  if (actuator.doses_delivered() == 0) {
+    std::printf("\ndose NOT delivered within 10 minutes — harvest too weak "
+                "for this pump at this depth\n");
+    return 1;
+  }
+  std::printf("\ndose delivered; audit words are readable over the "
+              "standard Gen2 Read path\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Flowgraph receiver: the CIB receive DSP assembled from streaming blocks,
+// the way the paper's UHD/GNU Radio prototype structures it (Sec. 5).
+//
+// One ToneSource per antenna (at its CIB offset, with a random channel
+// phase) -> SumSource (the air interface) -> AWGN -> anti-alias FIR ->
+// decimator -> envelope detector -> probe. Prints the observed peak against
+// the analytic Eq. 6 evaluator.
+//
+//   $ ./flowgraph_receiver [antennas]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/flow/flow.hpp"
+#include "ivnet/signal/fir.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivnet;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const auto plan = FrequencyPlan::paper_default().truncated(n);
+  const double fs = 8192.0;
+  const std::size_t seconds = 1;
+
+  Rng rng(2718);
+  std::vector<double> phases(n);
+  for (auto& p : phases) p = rng.phase();
+
+  // Source: N antennas summed through their (blind) channel phases.
+  auto sum = std::make_unique<flow::SumSource>();
+  for (std::size_t i = 0; i < n; ++i) {
+    sum->add_branch(std::make_unique<flow::ToneSource>(
+                        plan.offsets_hz()[i], fs,
+                        seconds * static_cast<std::size_t>(fs), phases[i]),
+                    cplx{1.0, 0.0});
+  }
+
+  flow::Flowgraph graph;
+  graph.set_source(std::move(sum));
+  graph.add_transform(std::make_unique<flow::AwgnTransform>(1e-4, 99));
+  graph.add_transform(
+      std::make_unique<flow::FirTransform>(design_lowpass(1500.0, fs, 41)));
+  graph.add_transform(std::make_unique<flow::DecimatorTransform>(2));
+  graph.add_transform(std::make_unique<flow::EnvelopeTransform>());
+  auto probe = std::make_unique<flow::ProbeSink>();
+  auto* probe_ptr = probe.get();
+  graph.set_sink(std::move(probe));
+
+  const std::size_t produced = graph.run(1024);
+
+  const double analytic = peak_envelope(plan.offsets_hz(), phases, 1.0);
+  std::printf("flowgraph: %zu antennas, %zu samples through "
+              "sum -> awgn -> fir -> /2 -> envelope -> probe\n",
+              n, produced);
+  std::printf("observed peak envelope: %.3f of %zu\n",
+              probe_ptr->peak_amplitude(), n);
+  std::printf("analytic Eq. 6 peak:    %.3f\n", analytic);
+  std::printf("mean power: %.2f (expect ~N = %zu for incoherent tones)\n",
+              probe_ptr->mean_power(), n);
+  const double err =
+      std::abs(probe_ptr->peak_amplitude() - analytic) / analytic;
+  std::printf("agreement: %.1f%% error\n", 100.0 * err);
+  return err < 0.05 ? 0 : 1;
+}

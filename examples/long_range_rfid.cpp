@@ -1,0 +1,51 @@
+// Long-range RFID: the Sec. 6.1.2 implication beyond implants — CIB extends
+// an off-the-shelf passive RFID's read range from ~5 m to ~38 m (7.6x),
+// enabling warehouse-scale inventory from a single rack of antennas.
+//
+// Sweeps antenna count, reports the maximum operating range, and then runs
+// a live inventory round at a chosen distance.
+//
+//   $ ./long_range_rfid [distance_m]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ivnet/sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivnet;
+
+  const double distance = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const auto plan = FrequencyPlan::paper_default();
+  const auto tag = standard_tag();
+
+  Rng rng(17);
+  std::printf("maximum power-up range of a standard passive RFID vs "
+              "antenna count:\n");
+  std::printf("%-10s %-12s %s\n", "antennas", "range [m]", "gain over 1");
+  double r1 = 0.0;
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    const double r = max_air_range(tag, plan.truncated(n), 11, rng, 120.0);
+    if (n == 1) r1 = r;
+    std::printf("%-10zu %-12.1f %.1fx\n", n, r, r1 > 0 ? r / r1 : 0.0);
+  }
+
+  std::printf("\ninventory round at %.1f m with 8 antennas:\n", distance);
+  SessionConfig session;
+  session.plan = plan.truncated(8);
+  int found = 0;
+  const int attempts = 5;
+  for (int k = 0; k < attempts; ++k) {
+    const auto report =
+        run_gen2_session(air_scenario(distance), tag, session, rng);
+    if (report.rn16_decoded) {
+      ++found;
+      std::printf("  attempt %d: tag acquired, RN16=0x%04X, corr=%.2f\n", k,
+                  report.rn16, report.preamble_correlation);
+    } else {
+      std::printf("  attempt %d: no tag (%s)\n", k,
+                  report.powered ? "uplink too weak" : "below threshold");
+    }
+  }
+  std::printf("acquired %d/%d attempts\n", found, attempts);
+  return 0;
+}

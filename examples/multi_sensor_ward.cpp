@@ -1,0 +1,81 @@
+// Multi-sensor ward: the Sec. 3.7 extension — one CIB beamformer serving
+// several implanted battery-free sensors. CIB's time-varying envelope sweeps
+// 3-D space, powering every sensor once per period; the Gen2 anti-collision
+// layer (Query/QueryRep/ACK) then separates their replies, and a Select
+// command addresses one specific implant when the clinician asks for it.
+//
+//   $ ./multi_sensor_ward [num_sensors]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "ivnet/reader/inventory.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ivnet;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+  Rng rng(31);
+
+  // Each sensor sits at a slightly different depth in the abdomen; first
+  // check which of them the 8-antenna CIB beamformer can power at all.
+  const auto plan = FrequencyPlan::paper_default().truncated(8);
+  std::vector<std::unique_ptr<gen2::TagStateMachine>> sensors;
+  std::printf("deploying %zu gastric sensors:\n", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double extra_depth = rng.uniform(0.0, 0.04);
+    const auto scen =
+        swine_gastric_scenario(calib::kSwineStandoffM, extra_depth);
+    const bool powered =
+        can_power_up(scen, standard_tag(), plan, 11, 0.5, rng);
+    gen2::Bits epc;
+    gen2::append_bits(epc, 0x53454E53u, 32);  // "SENS"
+    gen2::append_bits(epc, 0u, 32);
+    gen2::append_bits(epc, static_cast<std::uint32_t>(i + 1), 32);
+    auto sm = std::make_unique<gen2::TagStateMachine>(epc, 500 + i);
+    if (powered) sm->power_up();
+    std::printf("  sensor %zu: depth +%.1f cm -> %s\n", i + 1,
+                extra_depth * 100.0, powered ? "powered" : "below threshold");
+    sensors.push_back(std::move(sm));
+  }
+
+  std::vector<gen2::TagStateMachine*> ptrs;
+  for (auto& s : sensors) ptrs.push_back(s.get());
+
+  // Inventory every powered sensor.
+  InventoryConfig cfg;
+  cfg.q = 3;
+  Rng inv_rng(32);
+  const auto all = InventoryRound(cfg).run_until_complete(ptrs, 16, inv_rng);
+  std::printf("\ninventory: found %zu sensors in %zu slots "
+              "(%zu collisions, %zu empty)\n",
+              all.epcs.size(), all.slots_used, all.collisions,
+              all.empty_slots);
+  for (const auto& epc : all.epcs) {
+    std::printf("  sensor id %u reported in\n",
+                gen2::read_bits(epc, 64, 32));
+  }
+
+  // Address sensor #2 alone via Select (Sec. 3.7).
+  for (auto& s : sensors) {
+    if (s->state() != gen2::TagState::kOff) {
+      s->power_loss();
+      s->power_up();  // fresh round, flags cleared
+    }
+  }
+  InventoryConfig addressed;
+  addressed.q = 0;
+  addressed.use_select = true;
+  addressed.select_pointer = 64;
+  gen2::append_bits(addressed.select_mask, 2u, 32);
+  const auto one = InventoryRound(addressed).run(ptrs, inv_rng);
+  std::printf("\naddressed read of sensor 2: %s\n",
+              one.epcs.size() == 1 &&
+                      gen2::read_bits(one.epcs[0], 64, 32) == 2u
+                  ? "ok"
+                  : "FAILED");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: power up and read a millimeter-sized battery-free sensor
+// through 5 cm of water with an 8-antenna CIB beamformer — the Fig. 7 setup
+// in ~40 lines.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+int main() {
+  using namespace ivnet;
+
+  // 1. The published 10-antenna frequency plan, truncated to 8 antennas
+  //    (915 MHz center, offsets {0, 7, 20, 49, 68, 73, 90, 113} Hz).
+  const FrequencyPlan plan = FrequencyPlan::paper_default().truncated(8);
+  std::printf("CIB plan: %zu antennas, RMS offset %.1f Hz (limit %.1f Hz)\n",
+              plan.num_antennas(), plan.rms_offset_hz(),
+              FlatnessConstraint{}.rms_limit_hz());
+
+  // 2. The scene: a miniature tag 5 cm deep in a water tank, beamformer
+  //    0.9 m away.
+  const Scenario scene = water_tank_scenario(0.05, calib::kRangeSetupStandoffM);
+  const TagConfig tag = miniature_tag();
+  std::printf("scene: %s, depth %.1f cm, single-antenna voltage %.3f V "
+              "(tag needs %.3f V)\n",
+              scene.name.c_str(), scene.depth_m * 100.0,
+              single_antenna_voltage(scene, tag, plan.center_hz()),
+              TagDevice(tag).min_peak_voltage());
+
+  // 3. Run a full Gen2 session: charge, query on the envelope peak, decode
+  //    the RN16 with the out-of-band reader.
+  SessionConfig session;
+  session.plan = plan;
+  // Deep-in-water uplinks need the paper's coherent averaging trick: the
+  // tag repeats its reply every CIB period and the reader integrates.
+  session.reader.averaging_periods = 100;
+  Rng rng(2024);
+  const SessionReport report = run_gen2_session(scene, tag, session, rng);
+
+  std::printf("powered:        %s (rail peak %.2f V)\n",
+              report.powered ? "yes" : "no", report.peak_rail_v);
+  std::printf("query decoded:  %s\n", report.command_decoded ? "yes" : "no");
+  std::printf("RN16 decoded:   %s (preamble correlation %.2f)\n",
+              report.rn16_decoded ? "yes" : "no",
+              report.preamble_correlation);
+  if (report.rn16_decoded) {
+    std::printf("RN16 = 0x%04X\n", report.rn16);
+  }
+  return report.rn16_decoded ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+#include "ivnet/cib/baseline.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "ivnet/cib/objective.hpp"
+
+namespace ivnet {
+
+double cib_peak_amplitude(const Channel& channel,
+                          std::span<const double> offsets_hz, double t_max_s,
+                          std::size_t steps) {
+  assert(offsets_hz.size() == channel.num_tx());
+  // Collapse channel gains into per-tone amplitude/phase, then reuse the
+  // envelope evaluator.
+  std::vector<double> amplitudes(offsets_hz.size());
+  std::vector<double> phases(offsets_hz.size());
+  for (std::size_t i = 0; i < offsets_hz.size(); ++i) {
+    const cplx h = channel.gain(i, offsets_hz[i]);
+    amplitudes[i] = std::abs(h);
+    phases[i] = std::arg(h);
+  }
+  if (steps == 0) steps = default_steps(offsets_hz, t_max_s);
+  const auto env = cib_envelope(offsets_hz, phases, amplitudes, t_max_s, steps);
+  double peak = 0.0;
+  for (double v : env) peak = std::max(peak, v);
+  return peak;
+}
+
+double coherent_blind_amplitude(const Channel& channel, double freq_offset_hz) {
+  cplx sum{0.0, 0.0};
+  for (std::size_t i = 0; i < channel.num_tx(); ++i) {
+    sum += channel.gain(i, freq_offset_hz);
+  }
+  return std::abs(sum);
+}
+
+double single_antenna_amplitude(const Channel& channel, std::size_t tx,
+                                double freq_offset_hz) {
+  return std::abs(channel.gain(tx, freq_offset_hz));
+}
+
+double genie_mimo_amplitude(const Channel& channel, double freq_offset_hz) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < channel.num_tx(); ++i) {
+    sum += std::abs(channel.gain(i, freq_offset_hz));
+  }
+  return sum;
+}
+
+double beamsteering_amplitude(const Channel& channel,
+                              std::span<const double> assumed_phases,
+                              double freq_offset_hz) {
+  assert(assumed_phases.size() == channel.num_tx());
+  cplx sum{0.0, 0.0};
+  for (std::size_t i = 0; i < channel.num_tx(); ++i) {
+    sum += channel.gain(i, freq_offset_hz) *
+           std::polar(1.0, -assumed_phases[i]);
+  }
+  return std::abs(sum);
+}
+
+}  // namespace ivnet

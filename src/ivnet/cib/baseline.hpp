@@ -1,0 +1,50 @@
+// Baseline transmission strategies the paper compares CIB against
+// (Sec. 6.1.1): a single antenna, the N-antenna same-frequency transmitter
+// ("the baseline cannot focus its signal toward the receiver"), traditional
+// coherent/MIMO beamforming with genie channel knowledge, and an
+// antenna-array beamsteerer that only knows geometry (so its precoding is
+// correct in air but wrong after tissue boundaries).
+//
+// All helpers evaluate the PEAK received amplitude at the sensor for a given
+// blind channel draw, under the paper's "nominal" power convention: every
+// strategy transmits the same per-antenna power (total power scales with N).
+#pragma once
+
+#include <span>
+
+#include "ivnet/rf/channel.hpp"
+
+namespace ivnet {
+
+/// Peak amplitude over one period delivered by CIB with the given offsets:
+/// max_t |sum_i h_i(df_i) e^{j 2 pi df_i t}|. `t_max_s` is the plan period.
+double cib_peak_amplitude(const Channel& channel,
+                          std::span<const double> offsets_hz,
+                          double t_max_s = 1.0, std::size_t steps = 0);
+
+/// Constant amplitude delivered by N antennas all on the same carrier with
+/// unknown (random) phases: |sum_i h_i(f)|. No time variation, so the peak
+/// equals the mean — this is the 10-antenna baseline of Fig. 11/12.
+double coherent_blind_amplitude(const Channel& channel,
+                                double freq_offset_hz = 0.0);
+
+/// Amplitude from a single antenna (index `tx`): |h_tx(f)|.
+double single_antenna_amplitude(const Channel& channel, std::size_t tx = 0,
+                                double freq_offset_hz = 0.0);
+
+/// Genie-aided MIMO beamforming upper bound: sum_i |h_i(f)| (per-antenna
+/// phases perfectly pre-compensated; requires the channel feedback that
+/// battery-free sensors cannot provide).
+double genie_mimo_amplitude(const Channel& channel, double freq_offset_hz = 0.0);
+
+/// Antenna-array beamsteering that pre-compensates only the phases
+/// `assumed_phases` it derives from geometry (air path). The residual error
+/// per antenna is the actual channel phase minus the assumed one: in
+/// homogeneous air the residuals vanish and this matches genie MIMO; through
+/// tissue the residuals are essentially random and the gain collapses to the
+/// blind baseline. |sum_i h_i * e^{-j assumed_i}|.
+double beamsteering_amplitude(const Channel& channel,
+                              std::span<const double> assumed_phases,
+                              double freq_offset_hz = 0.0);
+
+}  // namespace ivnet

@@ -1,0 +1,63 @@
+#include "ivnet/cib/frequency_plan.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+double FlatnessConstraint::rms_limit_hz() const {
+  return std::sqrt(alpha / (2.0 * kPi * kPi * query_duration_s *
+                            query_duration_s));
+}
+
+FrequencyPlan::FrequencyPlan(double center_hz, std::vector<double> offsets_hz)
+    : center_hz_(center_hz), offsets_hz_(std::move(offsets_hz)) {
+  assert(!offsets_hz_.empty());
+}
+
+FrequencyPlan FrequencyPlan::paper_default(double center_hz) {
+  return FrequencyPlan(center_hz,
+                       {0, 7, 20, 49, 68, 73, 90, 113, 121, 137});
+}
+
+FrequencyPlan FrequencyPlan::truncated(std::size_t n) const {
+  assert(n >= 1 && n <= offsets_hz_.size());
+  return FrequencyPlan(
+      center_hz_, std::vector<double>(offsets_hz_.begin(),
+                                      offsets_hz_.begin() +
+                                          static_cast<std::ptrdiff_t>(n)));
+}
+
+double FrequencyPlan::rms_offset_hz() const {
+  double sum_sq = 0.0;
+  for (double f : offsets_hz_) sum_sq += f * f;
+  return std::sqrt(sum_sq / static_cast<double>(offsets_hz_.size()));
+}
+
+bool FrequencyPlan::integer_offsets() const {
+  for (double f : offsets_hz_) {
+    if (f < 0.0 || std::abs(f - std::round(f)) > 1e-9) return false;
+  }
+  return true;
+}
+
+bool FrequencyPlan::satisfies(const FlatnessConstraint& constraint) const {
+  return integer_offsets() && rms_offset_hz() <= constraint.rms_limit_hz();
+}
+
+double FrequencyPlan::period_s() const {
+  if (!integer_offsets()) return 0.0;
+  long long g = 0;
+  for (double f : offsets_hz_) {
+    const auto v = static_cast<long long>(std::llround(f));
+    if (v > 0) g = std::gcd(g, v);
+  }
+  if (g == 0) return 0.0;
+  return 1.0 / static_cast<double>(g);
+}
+
+}  // namespace ivnet

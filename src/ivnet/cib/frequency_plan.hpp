@@ -1,0 +1,63 @@
+// The CIB frequency plan: a center carrier plus one small integer offset per
+// antenna (Sec. 3.6). Integer offsets give the cyclic-operation property
+// (peak recurs every T = 1 s); their RMS is bounded by the query-amplitude
+// flatness constraint of Eq. 9.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ivnet {
+
+/// Eq. 9's flatness constraint: (1/N) * sum(df_i^2) <= alpha / (2*pi^2*dt^2).
+struct FlatnessConstraint {
+  double alpha = 0.5;             ///< max tolerable envelope fluctuation
+  double query_duration_s = 800e-6;  ///< delta-t: the RFID query length
+
+  /// Maximum allowed RMS offset [Hz]: sqrt(alpha / (2*pi^2*dt^2)).
+  /// With the defaults this is the paper's 199 Hz.
+  double rms_limit_hz() const;
+};
+
+/// A CIB frequency assignment for N antennas.
+class FrequencyPlan {
+ public:
+  /// @param center_hz  The common carrier f1 (915 MHz in the prototype).
+  /// @param offsets_hz Per-antenna offsets df_i; by convention the first is 0.
+  FrequencyPlan(double center_hz, std::vector<double> offsets_hz);
+
+  /// The 10-antenna plan of Sec. 5(a):
+  /// {0, 7, 20, 49, 68, 73, 90, 113, 121, 137} Hz on a 915 MHz carrier.
+  static FrequencyPlan paper_default(double center_hz = 915e6);
+
+  /// Truncate to the first `n` antennas (used for the antenna-count sweeps).
+  FrequencyPlan truncated(std::size_t n) const;
+
+  double center_hz() const { return center_hz_; }
+  const std::vector<double>& offsets_hz() const { return offsets_hz_; }
+  std::size_t num_antennas() const { return offsets_hz_.size(); }
+
+  /// Absolute carrier of antenna i.
+  double carrier_hz(std::size_t i) const { return center_hz_ + offsets_hz_[i]; }
+
+  /// RMS of the offsets: sqrt((1/N) * sum(df_i^2)).
+  double rms_offset_hz() const;
+
+  /// True when every offset is a non-negative integer number of Hz and the
+  /// RMS satisfies the constraint.
+  bool satisfies(const FlatnessConstraint& constraint) const;
+
+  /// Envelope repetition period [s]: 1/gcd(offsets) for integer offsets
+  /// (1 s when the nonzero offsets are coprime), or 0 if no nonzero offset.
+  double period_s() const;
+
+  /// True if all offsets are integers (required for cyclic operation).
+  bool integer_offsets() const;
+
+ private:
+  double center_hz_;
+  std::vector<double> offsets_hz_;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,116 @@
+#include "ivnet/cib/objective.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+std::size_t default_steps(std::span<const double> offsets_hz, double t_max_s) {
+  double max_offset = 1.0;
+  for (double f : offsets_hz) max_offset = std::max(max_offset, std::abs(f));
+  // ~16 samples per cycle of the fastest beat; enough for a parabolic
+  // refinement to land within a fraction of a percent of the true peak.
+  const double steps = 16.0 * max_offset * t_max_s;
+  return static_cast<std::size_t>(
+      std::clamp(steps, 256.0, static_cast<double>(1u << 20)));
+}
+
+std::vector<double> cib_envelope(std::span<const double> offsets_hz,
+                                 std::span<const double> phases,
+                                 std::span<const double> amplitudes,
+                                 double t_max_s, std::size_t steps) {
+  assert(offsets_hz.size() == phases.size());
+  assert(amplitudes.empty() || amplitudes.size() == offsets_hz.size());
+  std::vector<double> env(steps, 0.0);
+  const double dt = t_max_s / static_cast<double>(steps);
+  // Incremental rotation per tone.
+  std::vector<std::complex<double>> rot(offsets_hz.size());
+  std::vector<std::complex<double>> step(offsets_hz.size());
+  for (std::size_t i = 0; i < offsets_hz.size(); ++i) {
+    const double amp = amplitudes.empty() ? 1.0 : amplitudes[i];
+    rot[i] = std::polar(amp, phases[i]);
+    step[i] = std::polar(1.0, kTwoPi * offsets_hz[i] * dt);
+  }
+  for (std::size_t n = 0; n < steps; ++n) {
+    std::complex<double> sum{0.0, 0.0};
+    for (std::size_t i = 0; i < rot.size(); ++i) {
+      sum += rot[i];
+      rot[i] *= step[i];
+    }
+    env[n] = std::abs(sum);
+  }
+  return env;
+}
+
+double peak_envelope(std::span<const double> offsets_hz,
+                     std::span<const double> phases, double t_max_s,
+                     std::size_t steps) {
+  if (steps == 0) steps = default_steps(offsets_hz, t_max_s);
+  const auto env =
+      cib_envelope(offsets_hz, phases, /*amplitudes=*/{}, t_max_s, steps);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < env.size(); ++i) {
+    if (env[i] > env[best]) best = i;
+  }
+  // Parabolic refinement on the squared envelope around the best sample.
+  if (best == 0 || best + 1 >= env.size()) return env[best];
+  const double y0 = env[best - 1] * env[best - 1];
+  const double y1 = env[best] * env[best];
+  const double y2 = env[best + 1] * env[best + 1];
+  const double denom = y0 - 2.0 * y1 + y2;
+  if (std::abs(denom) < 1e-12) return env[best];
+  const double delta = 0.5 * (y0 - y2) / denom;
+  const double peak_sq = y1 - 0.25 * (y0 - y2) * delta;
+  return std::sqrt(std::max(peak_sq, y1));
+}
+
+SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
+                                 std::size_t trials, Rng& rng,
+                                 double t_max_s) {
+  SampleSet set;
+  std::vector<double> phases(offsets_hz.size());
+  const std::size_t steps = default_steps(offsets_hz, t_max_s);
+  for (std::size_t k = 0; k < trials; ++k) {
+    for (auto& p : phases) p = rng.phase();
+    set.add(peak_envelope(offsets_hz, phases, t_max_s, steps));
+  }
+  return set;
+}
+
+double expected_peak_amplitude(std::span<const double> offsets_hz,
+                               std::size_t trials, Rng& rng, double t_max_s) {
+  return peak_amplitude_samples(offsets_hz, trials, rng, t_max_s).mean();
+}
+
+double expected_peak_power_gain(std::span<const double> offsets_hz,
+                                std::size_t trials, Rng& rng, double t_max_s) {
+  const auto set = peak_amplitude_samples(offsets_hz, trials, rng, t_max_s);
+  double sum = 0.0;
+  for (double a : set.values()) sum += a * a;
+  return sum / static_cast<double>(std::max<std::size_t>(1, set.size()));
+}
+
+double expected_conduction_fraction(std::span<const double> offsets_hz,
+                                    double threshold_amplitude,
+                                    std::size_t trials, Rng& rng,
+                                    double t_max_s) {
+  std::vector<double> phases(offsets_hz.size());
+  const std::size_t steps = default_steps(offsets_hz, t_max_s);
+  double total = 0.0;
+  for (std::size_t k = 0; k < trials; ++k) {
+    for (auto& p : phases) p = rng.phase();
+    const auto env = cib_envelope(offsets_hz, phases, {}, t_max_s, steps);
+    std::size_t above = 0;
+    for (double v : env) {
+      if (v >= threshold_amplitude) ++above;
+    }
+    total += static_cast<double>(above) / static_cast<double>(steps);
+  }
+  return total / static_cast<double>(std::max<std::size_t>(1, trials));
+}
+
+}  // namespace ivnet

@@ -1,0 +1,62 @@
+// The CIB optimization objectives.
+//
+// Eq. 6/10: choose offsets df_i maximizing the expected (over random phases
+// beta) peak over one period of |sum_i e^{j(2*pi*df_i*t + beta_i)}|.
+// Sec. 3.7's two-stage extension swaps in a second objective once the link
+// attenuation is known: maximize the conduction fraction — the expected time
+// the envelope spends above the (normalized) diode threshold.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/common/stats.hpp"
+
+namespace ivnet {
+
+/// Envelope of the CIB sum for given offsets/phases, sampled `steps` times
+/// over [0, t_max): Y(t) = |sum_i a_i * e^{j(2*pi*df_i*t + beta_i)}|.
+/// `amplitudes` may be empty (all ones).
+std::vector<double> cib_envelope(std::span<const double> offsets_hz,
+                                 std::span<const double> phases,
+                                 std::span<const double> amplitudes,
+                                 double t_max_s, std::size_t steps);
+
+/// Peak of the envelope over [0, t_max) for the given phase draw, with
+/// parabolic refinement around the best grid sample. Grid resolution
+/// defaults to ~16 samples per cycle of the largest offset.
+double peak_envelope(std::span<const double> offsets_hz,
+                     std::span<const double> phases, double t_max_s,
+                     std::size_t steps = 0);
+
+/// Monte-Carlo samples of the per-trial peak AMPLITUDE, phases drawn
+/// uniformly — the inner max of Eq. 6 sampled across channel conditions.
+SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
+                                 std::size_t trials, Rng& rng,
+                                 double t_max_s = 1.0);
+
+/// Eq. 6 estimator: E_beta[max_t |sum e^{j(2 pi df t + beta)}|].
+double expected_peak_amplitude(std::span<const double> offsets_hz,
+                               std::size_t trials, Rng& rng,
+                               double t_max_s = 1.0);
+
+/// Expected PEAK POWER gain over a single antenna: E[max^2] / 1. The
+/// theoretical maximum is N^2 (Sec. 3.4).
+double expected_peak_power_gain(std::span<const double> offsets_hz,
+                                std::size_t trials, Rng& rng,
+                                double t_max_s = 1.0);
+
+/// Two-stage steady objective: E_beta[ fraction of the period the envelope
+/// exceeds `threshold_amplitude` ] (threshold in units of one antenna's
+/// amplitude, i.e. the normalized diode threshold Vth / |h|).
+double expected_conduction_fraction(std::span<const double> offsets_hz,
+                                    double threshold_amplitude,
+                                    std::size_t trials, Rng& rng,
+                                    double t_max_s = 1.0);
+
+/// Deterministic evaluation grid size heuristic shared by the helpers.
+std::size_t default_steps(std::span<const double> offsets_hz, double t_max_s);
+
+}  // namespace ivnet

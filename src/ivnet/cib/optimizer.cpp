@@ -1,0 +1,112 @@
+#include "ivnet/cib/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "ivnet/cib/objective.hpp"
+
+namespace ivnet {
+
+FrequencyOptimizer::FrequencyOptimizer(OptimizerConfig config)
+    : config_(config) {
+  assert(config_.num_antennas >= 1);
+  objective_ = [trials = config_.mc_trials, t_max = config_.t_max_s](
+                   std::span<const double> offsets, Rng& rng) {
+    return expected_peak_amplitude(offsets, trials, rng, t_max);
+  };
+}
+
+void FrequencyOptimizer::set_objective(OffsetObjective objective) {
+  objective_ = std::move(objective);
+}
+
+bool FrequencyOptimizer::feasible(std::span<const double> offsets_hz) const {
+  if (offsets_hz.empty() || offsets_hz.front() != 0.0) return false;
+  std::set<long long> seen;
+  double sum_sq = 0.0;
+  for (double f : offsets_hz) {
+    if (f < 0.0 || std::abs(f - std::round(f)) > 1e-9) return false;
+    if (!seen.insert(std::llround(f)).second) return false;
+    sum_sq += f * f;
+  }
+  const double rms = std::sqrt(sum_sq / static_cast<double>(offsets_hz.size()));
+  return rms <= config_.constraint.rms_limit_hz();
+}
+
+std::vector<double> FrequencyOptimizer::random_feasible(Rng& rng) const {
+  // Draw offsets uniformly below the RMS bound; since individual offsets at
+  // the bound keep the set feasible on average, retry until feasible.
+  const double limit = config_.constraint.rms_limit_hz();
+  std::vector<double> offsets(config_.num_antennas);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    offsets[0] = 0.0;
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      offsets[i] = static_cast<double>(
+          rng.uniform_int(1, static_cast<std::int64_t>(limit)));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    if (feasible(offsets)) return offsets;
+  }
+  // Fallback: a sparse arithmetic ramp well inside the bound.
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    offsets[i] = static_cast<double>(i) *
+                 std::max(1.0, std::floor(limit / 2.0 /
+                                          static_cast<double>(offsets.size())));
+  }
+  return offsets;
+}
+
+double FrequencyOptimizer::score(std::span<const double> offsets_hz) const {
+  Rng scoring_rng(config_.score_seed);
+  return objective_(offsets_hz, scoring_rng);
+}
+
+OptimizerResult FrequencyOptimizer::optimize(Rng& rng) {
+  OptimizerResult best;
+  const double limit = config_.constraint.rms_limit_hz();
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    std::vector<double> current = random_feasible(rng);
+    double current_score = score(current);
+    ++best.evaluations;
+
+    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+      // Propose: move one offset by a random step (never the anchored 0th).
+      if (current.size() < 2) break;
+      std::vector<double> candidate = current;
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(candidate.size()) - 1));
+      const double magnitude =
+          static_cast<double>(rng.uniform_int(1, 16));
+      const double direction = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      candidate[idx] =
+          std::clamp(candidate[idx] + direction * magnitude, 1.0,
+                     std::floor(limit * std::sqrt(
+                                    static_cast<double>(candidate.size()))));
+      std::sort(candidate.begin(), candidate.end());
+      if (!feasible(candidate)) continue;
+      const double cand_score = score(candidate);
+      ++best.evaluations;
+      if (cand_score > current_score) {
+        current = std::move(candidate);
+        current_score = cand_score;
+      }
+    }
+    if (current_score > best.score) {
+      best.score = current_score;
+      best.offsets_hz = current;
+    }
+  }
+  double sum_sq = 0.0;
+  for (double f : best.offsets_hz) sum_sq += f * f;
+  best.rms_hz = best.offsets_hz.empty()
+                    ? 0.0
+                    : std::sqrt(sum_sq /
+                                static_cast<double>(best.offsets_hz.size()));
+  return best;
+}
+
+}  // namespace ivnet

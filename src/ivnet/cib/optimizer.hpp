@@ -1,0 +1,70 @@
+// The constrained frequency-selection optimizer of Eq. 10.
+//
+// The problem is non-convex (Sec. 3.6), so — like the paper's one-time
+// MATLAB Monte-Carlo search — we run randomized local search: random feasible
+// integer offset sets, hill-climbing single-offset moves, scored by a
+// common-random-numbers Monte-Carlo estimate of the Eq. 6 objective. The
+// search is a one-time cost per deployment ("this simulation needs to be
+// solved only once, since it optimizes for all channel conditions").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/common/rng.hpp"
+
+namespace ivnet {
+
+/// Scoring callback: maps an offset set to a scalar to maximize. The default
+/// is the Eq. 6 expected peak amplitude; the two-stage steady phase swaps in
+/// the conduction-fraction objective.
+using OffsetObjective =
+    std::function<double(std::span<const double> offsets_hz, Rng& rng)>;
+
+struct OptimizerConfig {
+  std::size_t num_antennas = 10;
+  FlatnessConstraint constraint;      ///< Eq. 9 RMS bound
+  std::size_t mc_trials = 128;        ///< phase draws per score
+  std::size_t iterations = 400;       ///< hill-climb moves per restart
+  std::size_t restarts = 3;
+  double t_max_s = 1.0;               ///< cyclic period (T = 1 s)
+  std::uint64_t score_seed = 1234;    ///< common random numbers for scoring
+};
+
+struct OptimizerResult {
+  std::vector<double> offsets_hz;  ///< sorted, first = 0
+  double score = 0.0;              ///< objective value of the winner
+  double rms_hz = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Randomized local search maximizing `objective` (or Eq. 6 by default)
+/// subject to integer offsets with RMS within the flatness constraint.
+class FrequencyOptimizer {
+ public:
+  explicit FrequencyOptimizer(OptimizerConfig config);
+
+  /// Use a custom objective (e.g. conduction fraction for the steady stage).
+  void set_objective(OffsetObjective objective);
+
+  /// Run the search. `rng` drives the proposal randomness; scoring uses
+  /// common random numbers from config.score_seed so candidate comparisons
+  /// are low-variance.
+  OptimizerResult optimize(Rng& rng);
+
+  /// Score one specific offset set with the configured objective and trial
+  /// count (useful for evaluating the paper's published set).
+  double score(std::span<const double> offsets_hz) const;
+
+  const OptimizerConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> random_feasible(Rng& rng) const;
+  bool feasible(std::span<const double> offsets_hz) const;
+
+  OptimizerConfig config_;
+  OffsetObjective objective_;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,32 @@
+#include "ivnet/cib/transmitter.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ivnet {
+
+CibTransmitter::CibTransmitter(FrequencyPlan plan,
+                               const RadioArrayConfig& radio_config, Rng& rng)
+    : plan_(std::move(plan)),
+      radios_(plan_.num_antennas(), radio_config, rng) {
+  radios_.tune(plan_.offsets_hz());
+}
+
+std::vector<Waveform> CibTransmitter::transmit_cw(double duration_s) const {
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration_s * radios_.config().sample_rate_hz));
+  const std::vector<double> envelope(n, 1.0);
+  return radios_.transmit(envelope);
+}
+
+std::vector<Waveform> CibTransmitter::transmit_command(
+    const gen2::Bits& bits, const gen2::PieTiming& timing,
+    bool with_preamble) const {
+  const auto envelope = gen2::pie_encode(
+      bits, timing, radios_.config().sample_rate_hz, with_preamble);
+  return radios_.transmit(envelope);
+}
+
+void CibTransmitter::new_trial(Rng& rng) { radios_.retune(rng); }
+
+}  // namespace ivnet

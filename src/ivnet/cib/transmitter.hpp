@@ -1,0 +1,45 @@
+// The CIB transmitter: marries a FrequencyPlan to a RadioArray and the Gen2
+// downlink. All antennas transmit the same PIE command envelope at the same
+// instant (coherent communication) on their own carriers (incoherent
+// channel) — Sec. 3.2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/gen2/pie.hpp"
+#include "ivnet/sdr/radio.hpp"
+
+namespace ivnet {
+
+/// Multi-antenna CIB transmitter.
+class CibTransmitter {
+ public:
+  /// The radio array is created with plan.num_antennas() devices.
+  CibTransmitter(FrequencyPlan plan, const RadioArrayConfig& radio_config,
+                 Rng& rng);
+
+  const FrequencyPlan& plan() const { return plan_; }
+  RadioArray& radios() { return radios_; }
+  const RadioArray& radios() const { return radios_; }
+
+  /// Per-antenna waveforms for a continuous-wave burst of `duration_s` —
+  /// the charging phase between commands.
+  std::vector<Waveform> transmit_cw(double duration_s) const;
+
+  /// Per-antenna waveforms for a Gen2 command: every antenna modulates the
+  /// same PIE envelope onto its own carrier, synchronized.
+  std::vector<Waveform> transmit_command(const gen2::Bits& bits,
+                                         const gen2::PieTiming& timing,
+                                         bool with_preamble) const;
+
+  /// New trial: re-draw every PLL's initial phase.
+  void new_trial(Rng& rng);
+
+ private:
+  FrequencyPlan plan_;
+  RadioArray radios_;
+};
+
+}  // namespace ivnet

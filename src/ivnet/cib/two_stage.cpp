@@ -1,0 +1,39 @@
+#include "ivnet/cib/two_stage.hpp"
+
+#include "ivnet/cib/objective.hpp"
+
+namespace ivnet {
+
+TwoStageController::TwoStageController(OptimizerConfig config)
+    : config_(config) {}
+
+StagePlan TwoStageController::plan_discovery(Rng& rng) {
+  FrequencyOptimizer optimizer(config_);
+  const auto result = optimizer.optimize(rng);
+  return StagePlan{.offsets_hz = result.offsets_hz,
+                   .objective_value = result.score};
+}
+
+StagePlan TwoStageController::plan_steady(double normalized_threshold,
+                                          Rng& rng) {
+  FrequencyOptimizer optimizer(config_);
+  optimizer.set_objective(
+      [threshold = normalized_threshold, trials = config_.mc_trials,
+       t_max = config_.t_max_s](std::span<const double> offsets, Rng& rng2) {
+        return expected_conduction_fraction(offsets, threshold, trials, rng2,
+                                            t_max);
+      });
+  const auto result = optimizer.optimize(rng);
+  return StagePlan{.offsets_hz = result.offsets_hz,
+                   .objective_value = result.score};
+}
+
+double TwoStageController::conduction_fraction(
+    std::span<const double> offsets_hz, double normalized_threshold) const {
+  Rng rng(config_.score_seed);
+  return expected_conduction_fraction(offsets_hz, normalized_threshold,
+                                      config_.mc_trials, rng,
+                                      config_.t_max_s);
+}
+
+}  // namespace ivnet

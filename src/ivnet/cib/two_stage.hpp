@@ -1,0 +1,46 @@
+// The two-stage extension of Sec. 3.7: a discovery stage optimized for peak
+// power (to find and wake the sensor despite unknown attenuation), then a
+// steady stage that — once the attenuation is learned from the first
+// successful contact — re-optimizes the frequency set to maximize the
+// conduction fraction, i.e. the time the envelope spends above the diode
+// threshold, which maximizes delivered DC power.
+#pragma once
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/common/rng.hpp"
+
+namespace ivnet {
+
+/// Outcome of planning one stage.
+struct StagePlan {
+  std::vector<double> offsets_hz;
+  double objective_value = 0.0;  ///< peak amplitude or conduction fraction
+};
+
+/// Two-stage CIB controller.
+class TwoStageController {
+ public:
+  /// @param config  Shared optimizer settings (antenna count, constraint).
+  explicit TwoStageController(OptimizerConfig config);
+
+  /// Stage 1: Eq. 10's peak-power plan (no attenuation knowledge needed).
+  StagePlan plan_discovery(Rng& rng);
+
+  /// Stage 2: once the per-antenna amplitude at the sensor is estimated,
+  /// the diode threshold normalizes to `vth / amplitude_per_antenna`;
+  /// re-optimize for expected conduction fraction above that level.
+  StagePlan plan_steady(double normalized_threshold, Rng& rng);
+
+  /// Expected conduction fraction of an arbitrary offset set at a given
+  /// normalized threshold (for comparing stage-1 vs stage-2 plans).
+  double conduction_fraction(std::span<const double> offsets_hz,
+                             double normalized_threshold) const;
+
+  const OptimizerConfig& config() const { return config_; }
+
+ private:
+  OptimizerConfig config_;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,139 @@
+#include "ivnet/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ivnet {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (stack_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  // The upcoming value must not emit another comma.
+  if (!first_.empty()) first_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma_if_needed();
+  if (std::isfinite(number)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no inf/nan
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma_if_needed();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace ivnet

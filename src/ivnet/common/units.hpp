@@ -1,0 +1,68 @@
+// Physical constants, unit helpers, and dB conversions used across ivnet.
+//
+// Conventions:
+//   * SI units throughout: meters, seconds, Hz, volts, watts, ohms.
+//   * "Amplitude" always means peak amplitude of a sinusoid (not RMS).
+//   * Power of a complex baseband sample x is |x|^2 into a normalized 1-ohm
+//     load unless an explicit impedance is given.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace ivnet {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.854'187'8128e-12;
+
+/// Vacuum permeability [H/m].
+inline constexpr double kMu0 = 1.256'637'062'12e-6;
+
+/// Wave impedance of free space [ohm].
+inline constexpr double kEta0 = 376.730'313'668;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Convert a power ratio to decibels. `ratio` must be > 0.
+inline double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert an amplitude (field/voltage) ratio to decibels.
+inline double amplitude_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Convert decibels to an amplitude (field/voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Convert watts to dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+
+/// Free-space wavelength [m] of a carrier at `freq_hz`.
+inline double wavelength(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+/// Angular frequency [rad/s].
+inline double angular_frequency(double freq_hz) { return kTwoPi * freq_hz; }
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_phase(double radians) {
+  double w = std::fmod(radians, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_phase_symmetric(double radians) {
+  double w = wrap_phase(radians);
+  if (w > kPi) w -= kTwoPi;
+  return w;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,190 @@
+#include "ivnet/flow/flow.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet::flow {
+
+// --- Sources -------------------------------------------------------------
+
+VectorSource::VectorSource(Waveform wave) : wave_(std::move(wave)) {}
+
+std::size_t VectorSource::produce(std::vector<cplx>& out, std::size_t max) {
+  const std::size_t n = std::min(max, wave_.samples.size() - cursor_);
+  out.insert(out.end(), wave_.samples.begin() + static_cast<std::ptrdiff_t>(cursor_),
+             wave_.samples.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += n;
+  return n;
+}
+
+ToneSource::ToneSource(double offset_hz, double sample_rate_hz,
+                       std::size_t length, double phase0, double amplitude)
+    : rotator_(std::polar(amplitude, phase0)),
+      step_(std::polar(1.0, kTwoPi * offset_hz / sample_rate_hz)),
+      amplitude_(amplitude),
+      remaining_(length) {}
+
+std::size_t ToneSource::produce(std::vector<cplx>& out, std::size_t max) {
+  const std::size_t n = std::min(max, remaining_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rotator_);
+    rotator_ *= step_;
+  }
+  // Keep the rotator's magnitude pinned over long runs.
+  const double mag = std::abs(rotator_);
+  if (mag > 0.0) rotator_ *= amplitude_ / mag;
+  remaining_ -= n;
+  return n;
+}
+
+void SumSource::add_branch(std::unique_ptr<Source> source, cplx gain) {
+  branches_.push_back(Branch{std::move(source), gain, false});
+}
+
+std::size_t SumSource::produce(std::vector<cplx>& out, std::size_t max) {
+  if (branches_.empty()) return 0;
+  std::vector<cplx> sum(max, cplx{0.0, 0.0});
+  std::size_t longest = 0;
+  std::vector<cplx> scratch;
+  for (auto& branch : branches_) {
+    if (branch.done) continue;
+    scratch.clear();
+    const std::size_t n = branch.source->produce(scratch, max);
+    if (n == 0) {
+      branch.done = true;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) sum[i] += branch.gain * scratch[i];
+    longest = std::max(longest, n);
+  }
+  out.insert(out.end(), sum.begin(),
+             sum.begin() + static_cast<std::ptrdiff_t>(longest));
+  return longest;
+}
+
+// --- Transforms ----------------------------------------------------------
+
+void GainTransform::process(std::span<const cplx> in, std::vector<cplx>& out) {
+  for (const auto& s : in) out.push_back(gain_ * s);
+}
+
+MixerTransform::MixerTransform(double shift_hz, double sample_rate_hz)
+    : step_(std::polar(1.0, kTwoPi * shift_hz / sample_rate_hz)) {}
+
+void MixerTransform::process(std::span<const cplx> in, std::vector<cplx>& out) {
+  for (const auto& s : in) {
+    out.push_back(s * rotator_);
+    rotator_ *= step_;
+  }
+  const double mag = std::abs(rotator_);
+  if (mag > 0.0) rotator_ /= mag;
+}
+
+FirTransform::FirTransform(std::vector<double> taps)
+    : taps_(std::move(taps)) {
+  assert(!taps_.empty());
+  history_.assign(taps_.size() - 1, cplx{0.0, 0.0});
+}
+
+void FirTransform::process(std::span<const cplx> in, std::vector<cplx>& out) {
+  // Work on history + chunk so taps never straddle a chunk boundary.
+  std::vector<cplx> buffer;
+  buffer.reserve(history_.size() + in.size());
+  buffer.insert(buffer.end(), history_.begin(), history_.end());
+  buffer.insert(buffer.end(), in.begin(), in.end());
+
+  const std::size_t h = taps_.size() - 1;
+  for (std::size_t i = h; i < buffer.size(); ++i) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      acc += taps_[t] * buffer[i - t];
+    }
+    out.push_back(acc);
+  }
+  // Preserve the last taps-1 inputs for the next chunk.
+  if (buffer.size() >= h) {
+    history_.assign(buffer.end() - static_cast<std::ptrdiff_t>(h),
+                    buffer.end());
+  }
+}
+
+DecimatorTransform::DecimatorTransform(std::size_t factor) : factor_(factor) {
+  assert(factor_ >= 1);
+}
+
+void DecimatorTransform::process(std::span<const cplx> in,
+                                 std::vector<cplx>& out) {
+  for (const auto& s : in) {
+    if (phase_ == 0) out.push_back(s);
+    phase_ = (phase_ + 1) % factor_;
+  }
+}
+
+void EnvelopeTransform::process(std::span<const cplx> in,
+                                std::vector<cplx>& out) {
+  for (const auto& s : in) out.push_back(cplx{std::abs(s), 0.0});
+}
+
+AwgnTransform::AwgnTransform(double noise_power, std::uint64_t seed)
+    : rng_(seed), sigma_(std::sqrt(noise_power / 2.0)) {}
+
+void AwgnTransform::process(std::span<const cplx> in, std::vector<cplx>& out) {
+  for (const auto& s : in) {
+    out.push_back(s + cplx{rng_.normal(0.0, sigma_),
+                           rng_.normal(0.0, sigma_)});
+  }
+}
+
+// --- Sinks ---------------------------------------------------------------
+
+void VectorSink::consume(std::span<const cplx> in) {
+  samples_.insert(samples_.end(), in.begin(), in.end());
+}
+
+void ProbeSink::consume(std::span<const cplx> in) {
+  for (const auto& s : in) {
+    const double norm = std::norm(s);
+    peak_norm_ = std::max(peak_norm_, norm);
+    power_sum_ += norm;
+  }
+  count_ += in.size();
+}
+
+double ProbeSink::mean_power() const {
+  return count_ == 0 ? 0.0 : power_sum_ / static_cast<double>(count_);
+}
+
+// --- Graph ---------------------------------------------------------------
+
+void Flowgraph::set_source(std::unique_ptr<Source> source) {
+  source_ = std::move(source);
+}
+
+void Flowgraph::add_transform(std::unique_ptr<Transform> transform) {
+  transforms_.push_back(std::move(transform));
+}
+
+void Flowgraph::set_sink(std::unique_ptr<Sink> sink) { sink_ = std::move(sink); }
+
+std::size_t Flowgraph::run(std::size_t chunk_size) {
+  assert(source_ && sink_);
+  std::size_t total = 0;
+  std::vector<cplx> a, b;
+  for (;;) {
+    a.clear();
+    const std::size_t n = source_->produce(a, chunk_size);
+    if (n == 0) break;
+    total += n;
+    for (auto& transform : transforms_) {
+      b.clear();
+      transform->process(a, b);
+      std::swap(a, b);
+    }
+    sink_->consume(a);
+  }
+  return total;
+}
+
+}  // namespace ivnet::flow

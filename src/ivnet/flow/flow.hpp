@@ -1,0 +1,216 @@
+// A small streaming flowgraph framework, mirroring how the paper's
+// prototype structures its signal path inside the UHD driver (Sec. 5:
+// "We implemented the beamforming algorithm and concurrent data
+// communication directly into the USRP's UHD driver in C++").
+//
+// Chunked pull pipeline: one Source, a chain of stateful Transforms, one
+// Sink. Blocks keep their own streaming state (FIR history, decimation
+// phase, NCO phase), so results are identical regardless of chunk size —
+// the property the tests pin down.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet::flow {
+
+/// Produces samples. Returns the number appended to `out` (<= max);
+/// 0 means the stream has ended.
+class Source {
+ public:
+  virtual ~Source() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t produce(std::vector<cplx>& out, std::size_t max) = 0;
+};
+
+/// Consumes a chunk, appends processed samples (size may differ).
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  virtual std::string name() const = 0;
+  virtual void process(std::span<const cplx> in, std::vector<cplx>& out) = 0;
+};
+
+/// Terminal consumer.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual std::string name() const = 0;
+  virtual void consume(std::span<const cplx> in) = 0;
+};
+
+// --- Sources -------------------------------------------------------------
+
+/// Plays out a fixed waveform.
+class VectorSource : public Source {
+ public:
+  explicit VectorSource(Waveform wave);
+  std::string name() const override { return "vector_source"; }
+  std::size_t produce(std::vector<cplx>& out, std::size_t max) override;
+
+ private:
+  Waveform wave_;
+  std::size_t cursor_ = 0;
+};
+
+/// Complex tone of fixed length.
+class ToneSource : public Source {
+ public:
+  ToneSource(double offset_hz, double sample_rate_hz, std::size_t length,
+             double phase0 = 0.0, double amplitude = 1.0);
+  std::string name() const override { return "tone_source"; }
+  std::size_t produce(std::vector<cplx>& out, std::size_t max) override;
+
+ private:
+  cplx rotator_;
+  cplx step_;
+  double amplitude_;
+  std::size_t remaining_;
+};
+
+/// Sums several child sources with per-branch complex gains — the receive
+/// side of a multi-antenna CIB link (each branch = one antenna through its
+/// channel coefficient). Ends when every child ends; shorter children pad
+/// with zeros.
+class SumSource : public Source {
+ public:
+  SumSource() = default;
+  void add_branch(std::unique_ptr<Source> source, cplx gain);
+  std::string name() const override { return "sum_source"; }
+  std::size_t produce(std::vector<cplx>& out, std::size_t max) override;
+
+ private:
+  struct Branch {
+    std::unique_ptr<Source> source;
+    cplx gain;
+    bool done = false;
+  };
+  std::vector<Branch> branches_;
+};
+
+// --- Transforms ----------------------------------------------------------
+
+/// Scalar complex gain.
+class GainTransform : public Transform {
+ public:
+  explicit GainTransform(cplx gain) : gain_(gain) {}
+  std::string name() const override { return "gain"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+
+ private:
+  cplx gain_;
+};
+
+/// Frequency shift (numerically-controlled oscillator), phase-continuous
+/// across chunks.
+class MixerTransform : public Transform {
+ public:
+  MixerTransform(double shift_hz, double sample_rate_hz);
+  std::string name() const override { return "mixer"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+
+ private:
+  cplx rotator_{1.0, 0.0};
+  cplx step_;
+};
+
+/// Streaming FIR with history carried across chunks.
+class FirTransform : public Transform {
+ public:
+  explicit FirTransform(std::vector<double> taps);
+  std::string name() const override { return "fir"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+
+ private:
+  std::vector<double> taps_;
+  std::vector<cplx> history_;  // last taps-1 input samples
+};
+
+/// Keep-one-in-N decimator with phase carried across chunks (no filtering;
+/// compose with FirTransform for anti-aliasing).
+class DecimatorTransform : public Transform {
+ public:
+  explicit DecimatorTransform(std::size_t factor);
+  std::string name() const override { return "decimator"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+
+ private:
+  std::size_t factor_;
+  std::size_t phase_ = 0;
+};
+
+/// Magnitude detector: out = |in| (imaginary part zero) — the tag's
+/// envelope view of the stream.
+class EnvelopeTransform : public Transform {
+ public:
+  std::string name() const override { return "envelope"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+};
+
+/// Additive white Gaussian noise of fixed per-sample power.
+class AwgnTransform : public Transform {
+ public:
+  AwgnTransform(double noise_power, std::uint64_t seed);
+  std::string name() const override { return "awgn"; }
+  void process(std::span<const cplx> in, std::vector<cplx>& out) override;
+
+ private:
+  Rng rng_;
+  double sigma_;
+};
+
+// --- Sinks ---------------------------------------------------------------
+
+/// Collects everything.
+class VectorSink : public Sink {
+ public:
+  std::string name() const override { return "vector_sink"; }
+  void consume(std::span<const cplx> in) override;
+  const std::vector<cplx>& samples() const { return samples_; }
+
+ private:
+  std::vector<cplx> samples_;
+};
+
+/// Running peak/power meter.
+class ProbeSink : public Sink {
+ public:
+  std::string name() const override { return "probe"; }
+  void consume(std::span<const cplx> in) override;
+  double peak_amplitude() const { return std::sqrt(peak_norm_); }
+  double mean_power() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double peak_norm_ = 0.0;  // max |x|^2 seen
+  double power_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+// --- Graph ---------------------------------------------------------------
+
+/// Source -> transforms... -> sink, run in chunks.
+class Flowgraph {
+ public:
+  void set_source(std::unique_ptr<Source> source);
+  void add_transform(std::unique_ptr<Transform> transform);
+  void set_sink(std::unique_ptr<Sink> sink);
+
+  /// Run to completion. Returns total samples the source produced.
+  std::size_t run(std::size_t chunk_size = 4096);
+
+  Sink* sink() { return sink_.get(); }
+
+ private:
+  std::unique_ptr<Source> source_;
+  std::vector<std::unique_ptr<Transform>> transforms_;
+  std::unique_ptr<Sink> sink_;
+};
+
+}  // namespace ivnet::flow

@@ -1,0 +1,61 @@
+#include "ivnet/gen2/crc.hpp"
+
+#include <cassert>
+
+namespace ivnet::gen2 {
+
+std::uint8_t crc5(const Bits& bits) {
+  std::uint8_t reg = 0b01001;
+  for (bool bit : bits) {
+    const bool msb = (reg & 0b10000) != 0;
+    reg = static_cast<std::uint8_t>((reg << 1) & 0b11111);
+    if (msb != bit) reg ^= 0b01001;  // poly x^5 + x^3 + 1 -> 0b01001 taps
+  }
+  return reg;
+}
+
+std::uint16_t crc16(const Bits& bits) {
+  std::uint16_t reg = 0xFFFF;
+  for (bool bit : bits) {
+    const bool msb = (reg & 0x8000) != 0;
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (msb != bit) reg ^= 0x1021;
+  }
+  return static_cast<std::uint16_t>(~reg);
+}
+
+bool check_crc5(const Bits& bits_with_crc) {
+  if (bits_with_crc.size() < 5) return false;
+  Bits payload(bits_with_crc.begin(), bits_with_crc.end() - 5);
+  const std::uint8_t expect = crc5(payload);
+  const auto got = static_cast<std::uint8_t>(
+      read_bits(bits_with_crc, bits_with_crc.size() - 5, 5));
+  return expect == got;
+}
+
+bool check_crc16(const Bits& bits_with_crc) {
+  if (bits_with_crc.size() < 16) return false;
+  Bits payload(bits_with_crc.begin(), bits_with_crc.end() - 16);
+  const std::uint16_t expect = crc16(payload);
+  const auto got = static_cast<std::uint16_t>(
+      read_bits(bits_with_crc, bits_with_crc.size() - 16, 16));
+  return expect == got;
+}
+
+void append_bits(Bits& bits, std::uint32_t value, int width) {
+  assert(width >= 0 && width <= 32);
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(((value >> i) & 1u) != 0);
+  }
+}
+
+std::uint32_t read_bits(const Bits& bits, std::size_t pos, int width) {
+  assert(pos + static_cast<std::size_t>(width) <= bits.size());
+  std::uint32_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (bits[pos + static_cast<std::size_t>(i)] ? 1u : 0u);
+  }
+  return value;
+}
+
+}  // namespace ivnet::gen2

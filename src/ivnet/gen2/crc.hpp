@@ -1,0 +1,33 @@
+// EPC Gen2 CRC-5 and CRC-16 (ISO/IEC 18000-63). Bits are processed MSB-first
+// as they appear on air.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ivnet::gen2 {
+
+/// Bit sequence as transmitted (index 0 first on air).
+using Bits = std::vector<bool>;
+
+/// CRC-5 over `bits`: polynomial x^5 + x^3 + 1, preset 0b01001.
+/// Appended to Query commands.
+std::uint8_t crc5(const Bits& bits);
+
+/// CRC-16-CCITT over `bits`: polynomial 0x1021, preset 0xFFFF, value is
+/// ones-complemented before transmission (as the standard requires).
+std::uint16_t crc16(const Bits& bits);
+
+/// True if `bits` (payload + appended CRC-5) passes the CRC-5 check.
+bool check_crc5(const Bits& bits_with_crc);
+
+/// True if `bits` (payload + appended complemented CRC-16) passes.
+bool check_crc16(const Bits& bits_with_crc);
+
+/// Append `width` bits of `value` MSB-first.
+void append_bits(Bits& bits, std::uint32_t value, int width);
+
+/// Read `width` bits MSB-first starting at `pos` (caller checks bounds).
+std::uint32_t read_bits(const Bits& bits, std::size_t pos, int width);
+
+}  // namespace ivnet::gen2

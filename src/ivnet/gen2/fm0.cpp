@@ -1,0 +1,121 @@
+#include "ivnet/gen2/fm0.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ivnet/signal/correlate.hpp"
+
+namespace ivnet::gen2 {
+
+const std::vector<bool>& fm0_preamble_halfbits() {
+  static const std::vector<bool> preamble = {true, true,  false, true,
+                                             false, false, true,  false,
+                                             false, false, true,  true};
+  return preamble;
+}
+
+std::vector<bool> fm0_encode_halfbits(const Bits& bits) {
+  std::vector<bool> halves = fm0_preamble_halfbits();
+  // FM0 state: level of the most recent half-bit. The preamble ends high;
+  // every symbol starts with a boundary inversion.
+  bool level = halves.back();
+  auto encode_symbol = [&](bool bit) {
+    level = !level;  // boundary inversion
+    halves.push_back(level);
+    if (!bit) level = !level;  // data-0: mid-symbol inversion
+    halves.push_back(level);
+  };
+  for (bool bit : bits) encode_symbol(bit);
+  encode_symbol(true);  // closing dummy data-1
+  return halves;
+}
+
+namespace {
+
+std::vector<double> halfbits_to_samples(const std::vector<bool>& halves,
+                                        double blf_hz, double fs) {
+  const double half_duration = 1.0 / (2.0 * blf_hz);
+  const auto spb = static_cast<std::size_t>(std::llround(half_duration * fs));
+  assert(spb >= 2 && "sample rate too low for the BLF");
+  std::vector<double> samples;
+  samples.reserve(halves.size() * spb);
+  for (bool h : halves) {
+    samples.insert(samples.end(), spb, h ? 1.0 : -1.0);
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::vector<double> fm0_modulate(const Bits& bits, double blf_hz,
+                                 double sample_rate_hz) {
+  return halfbits_to_samples(fm0_encode_halfbits(bits), blf_hz, sample_rate_hz);
+}
+
+std::vector<double> fm0_preamble_template(double blf_hz, double sample_rate_hz) {
+  return halfbits_to_samples(fm0_preamble_halfbits(), blf_hz, sample_rate_hz);
+}
+
+Fm0DecodeResult fm0_decode(std::span<const double> signal, std::size_t num_bits,
+                           double blf_hz, double sample_rate_hz,
+                           double min_correlation) {
+  Fm0DecodeResult result;
+  const auto tmpl = fm0_preamble_template(blf_hz, sample_rate_hz);
+  const double half_duration = 1.0 / (2.0 * blf_hz);
+  const auto spb = static_cast<std::size_t>(
+      std::llround(half_duration * sample_rate_hz));
+  // Total half-bits: preamble + 2 per data bit + 2 for the dummy bit.
+  const std::size_t total_halves =
+      fm0_preamble_halfbits().size() + 2 * num_bits + 2;
+  if (signal.size() < total_halves * spb) return result;
+
+  // Locate the preamble at either polarity.
+  double best = 0.0;
+  std::size_t best_off = 0;
+  bool inverted = false;
+  const std::size_t last_start = signal.size() - total_halves * spb;
+  for (std::size_t off = 0; off <= last_start; ++off) {
+    const double c =
+        normalized_correlation(signal.subspan(off, tmpl.size()), tmpl);
+    if (std::abs(c) > std::abs(best)) {
+      best = c;
+      best_off = off;
+      inverted = c < 0.0;
+    }
+  }
+  result.preamble_correlation = std::abs(best);
+  result.preamble_offset = best_off;
+  result.inverted = inverted;
+  if (result.preamble_correlation < min_correlation) return result;
+
+  // Slice half-bit levels by integrating each half period.
+  const double polarity = inverted ? -1.0 : 1.0;
+  auto half_level = [&](std::size_t half_index) {
+    const std::size_t start = best_off + half_index * spb;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < spb; ++i) sum += signal[start + i];
+    return polarity * sum > 0.0;
+  };
+
+  const std::size_t preamble_halves = fm0_preamble_halfbits().size();
+  bool prev_last = half_level(preamble_halves - 1);
+  for (std::size_t b = 0; b < num_bits; ++b) {
+    const std::size_t base = preamble_halves + 2 * b;
+    const bool h0 = half_level(base);
+    const bool h1 = half_level(base + 1);
+    // Equal halves -> data-1; a mid-symbol inversion -> data-0.
+    result.bits.push_back(h0 == h1);
+    // FM0 well-formedness: each symbol starts with a boundary inversion.
+    if (h0 == prev_last) {
+      // Boundary violation inside data: treat as decode failure.
+      result.bits.clear();
+      return result;
+    }
+    prev_last = h1;
+  }
+  result.valid = true;
+  return result;
+}
+
+}  // namespace ivnet::gen2

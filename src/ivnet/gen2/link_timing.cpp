@@ -1,0 +1,69 @@
+#include "ivnet/gen2/link_timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/fm0.hpp"
+
+namespace ivnet::gen2 {
+
+double LinkTiming::t1_nominal_s() const {
+  return std::max(rtcal_s, 10.0 / blf_hz);
+}
+
+double LinkTiming::t1_min_s() const {
+  // +/- frequency tolerance of the tag's oscillator, minus 2 us guard.
+  return t1_nominal_s() * (1.0 - 1.0 / frt) - 2e-6;
+}
+
+double LinkTiming::t1_max_s() const {
+  return t1_nominal_s() * (1.0 + 1.0 / frt) + 2e-6;
+}
+
+double fm0_reply_duration_s(std::size_t num_bits, double blf_hz) {
+  // Half-bits: 12 preamble + 2 per data bit + 2 dummy; each 1/(2 BLF).
+  const auto halves = fm0_preamble_halfbits().size() + 2 * num_bits + 2;
+  return static_cast<double>(halves) / (2.0 * blf_hz);
+}
+
+double pie_command_duration_s(const Bits& bits, const PieTiming& timing,
+                              bool with_preamble) {
+  double t = timing.delimiter_s + timing.data0_s() + timing.rtcal_s();
+  if (with_preamble) t += timing.trcal_s();
+  for (bool b : bits) t += b ? timing.data1_s() : timing.data0_s();
+  return t;
+}
+
+double inventory_exchange_duration_s(const PieTiming& pie,
+                                     const LinkTiming& link) {
+  const double query =
+      pie_command_duration_s(QueryCommand{}.encode(), pie, true);
+  const double ack =
+      pie_command_duration_s(AckCommand{}.encode(), pie, false);
+  const double rn16 = fm0_reply_duration_s(16, link.blf_hz);
+  const double epc = fm0_reply_duration_s(128, link.blf_hz);
+  return query + link.t1_max_s() + rn16 + link.t2_max_s() + ack +
+         link.t1_max_s() + epc + link.t2_max_s();
+}
+
+double peak_flat_top_s(double rms_offset_hz, double fluctuation) {
+  if (rms_offset_hz <= 0.0) return 1e9;  // single tone: flat forever
+  return std::sqrt(fluctuation /
+                   (2.0 * kPi * kPi * rms_offset_hz * rms_offset_hz));
+}
+
+bool command_fits_peak(const Bits& command_bits, const PieTiming& pie,
+                       bool with_preamble, double rms_offset_hz,
+                       double fluctuation) {
+  return pie_command_duration_s(command_bits, pie, with_preamble) <=
+         peak_flat_top_s(rms_offset_hz, fluctuation);
+}
+
+double max_rms_for_command_s(double command_duration_s, double fluctuation) {
+  return std::sqrt(fluctuation / (2.0 * kPi * kPi * command_duration_s *
+                                  command_duration_s));
+}
+
+}  // namespace ivnet::gen2

@@ -1,0 +1,72 @@
+// Gen2 link timing: the T1-T4 windows that govern reader <-> tag turnaround
+// (ISO 18000-63 Table 6.16), and the interaction with CIB's envelope peak.
+//
+// Only reader COMMANDS need the envelope flat-top (tags decode PIE by
+// envelope detection; their own backscatter replies only need power above
+// threshold), so the Eq. 9 feasibility condition is per-command: each PIE
+// command must fit inside the flat-top. The Query fits a 199 Hz-RMS plan's
+// ~2 ms top with margin; longer access commands (Read is 58 bits) eat into
+// it — exactly the Sec. 3.7 remark that an elongated command must be folded
+// back "into the delta-t constraint of Eq. 10".
+#pragma once
+
+#include "ivnet/gen2/pie.hpp"
+
+namespace ivnet::gen2 {
+
+/// Link-timing parameters derived from the air-interface settings.
+struct LinkTiming {
+  double blf_hz = 40e3;   ///< backscatter link frequency
+  double rtcal_s = 75e-6; ///< reader->tag calibration symbol
+  double frt = 8.0;       ///< frequency tolerance multiplier (DR/TRcal)
+
+  /// T1: tag reply delay after the last reader symbol.
+  /// Nominal MAX(RTcal, 10/BLF) * (1 +/- tolerance) + 2 us.
+  double t1_nominal_s() const;
+  double t1_min_s() const;
+  double t1_max_s() const;
+
+  /// T2: reader response time after the tag reply (3-20 T_pri).
+  double t2_min_s() const { return 3.0 / blf_hz; }
+  double t2_max_s() const { return 20.0 / blf_hz; }
+
+  /// T3: time a reader waits after T1 before issuing another command.
+  double t3_min_s() const { return 0.0; }
+
+  /// T4: minimum time between reader commands (2 RTcal).
+  double t4_min_s() const { return 2.0 * rtcal_s; }
+};
+
+/// Duration of one FM0 tag reply of `num_bits` data bits (preamble + data +
+/// dummy) at the given BLF.
+double fm0_reply_duration_s(std::size_t num_bits, double blf_hz);
+
+/// Duration of a PIE command of `bits` under `timing` (including preamble
+/// or frame-sync).
+double pie_command_duration_s(const Bits& bits, const PieTiming& timing,
+                              bool with_preamble);
+
+/// Total air time of a full inventory exchange:
+///   Query + T1 + RN16 + T2 + ACK + T1 + EPC(128) + T2.
+double inventory_exchange_duration_s(const PieTiming& pie,
+                                     const LinkTiming& link);
+
+/// The flat-top duration of a CIB envelope peak: the time the envelope
+/// stays within `fluctuation` of its maximum for a plan of RMS offset
+/// `rms_offset_hz` (first-order Taylor bound, the inverse of Eq. 9):
+///   dt = sqrt(fluctuation / (2 pi^2 rms^2)).
+double peak_flat_top_s(double rms_offset_hz, double fluctuation = 0.5);
+
+/// True when one PIE command fits inside the envelope flat-top — the
+/// per-command feasibility condition behind Eq. 9/10.
+bool command_fits_peak(const Bits& command_bits, const PieTiming& pie,
+                       bool with_preamble, double rms_offset_hz,
+                       double fluctuation = 0.5);
+
+/// The largest RMS offset [Hz] for which a command of duration `dt` still
+/// meets the fluctuation bound — Eq. 9 rearranged, the number Sec. 3.6
+/// quotes as 199 Hz for dt = 800 us.
+double max_rms_for_command_s(double command_duration_s,
+                             double fluctuation = 0.5);
+
+}  // namespace ivnet::gen2

@@ -1,0 +1,102 @@
+#include "ivnet/gen2/pie.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ivnet::gen2 {
+namespace {
+
+void append_level(std::vector<double>& env, double level, double duration_s,
+                  double fs) {
+  const auto n = static_cast<std::size_t>(std::llround(duration_s * fs));
+  env.insert(env.end(), n, level);
+}
+
+/// One PIE symbol: high for (length - PW), low for PW.
+void append_symbol(std::vector<double>& env, double length_s,
+                   const PieTiming& t, double fs) {
+  append_level(env, 1.0, length_s - t.pw_s(), fs);
+  append_level(env, 0.0, t.pw_s(), fs);
+}
+
+}  // namespace
+
+std::vector<double> pie_encode(const Bits& bits, const PieTiming& timing,
+                               double sample_rate_hz, bool with_preamble) {
+  std::vector<double> env;
+  // Lead-in CW so the tag's detector settles before the delimiter.
+  append_level(env, 1.0, 4.0 * timing.tari_s, sample_rate_hz);
+  // Delimiter: fixed low.
+  append_level(env, 0.0, timing.delimiter_s, sample_rate_hz);
+  // Data-0 reference symbol, then RTcal; Query preambles add TRcal.
+  append_symbol(env, timing.data0_s(), timing, sample_rate_hz);
+  append_symbol(env, timing.rtcal_s(), timing, sample_rate_hz);
+  if (with_preamble) {
+    append_symbol(env, timing.trcal_s(), timing, sample_rate_hz);
+  }
+  for (bool bit : bits) {
+    append_symbol(env, bit ? timing.data1_s() : timing.data0_s(), timing,
+                  sample_rate_hz);
+  }
+  // Trailing CW: the tag backscatters against this carrier.
+  append_level(env, 1.0, 4.0 * timing.tari_s, sample_rate_hz);
+  return env;
+}
+
+PieDecodeResult pie_decode(std::span<const double> envelope,
+                           double sample_rate_hz, double max_fluctuation) {
+  PieDecodeResult result;
+  if (envelope.size() < 8) return result;
+
+  const double hi = *std::max_element(envelope.begin(), envelope.end());
+  const double lo = *std::min_element(envelope.begin(), envelope.end());
+  if (hi <= 0.0) return result;
+  const double threshold = 0.5 * (hi + lo);
+
+  // The tag's detector cannot track a carrier whose "high" level swings more
+  // than the modulation depth margin (Eq. 7): measure the high-state
+  // fluctuation and reject commands beyond the tolerance.
+  double high_min = hi;
+  for (double v : envelope) {
+    if (v >= threshold) high_min = std::min(high_min, v);
+  }
+  if ((hi - high_min) / hi >= max_fluctuation) return result;
+
+  // Falling edges of the sliced envelope.
+  std::vector<std::size_t> falls;
+  for (std::size_t i = 1; i < envelope.size(); ++i) {
+    const bool prev = envelope[i - 1] >= threshold;
+    const bool curr = envelope[i] >= threshold;
+    if (prev && !curr) falls.push_back(i);
+  }
+  if (falls.size() < 3) return result;
+
+  // Intervals between consecutive falling edges are the symbol lengths.
+  std::vector<double> intervals;
+  intervals.reserve(falls.size() - 1);
+  for (std::size_t k = 1; k < falls.size(); ++k) {
+    intervals.push_back(static_cast<double>(falls[k] - falls[k - 1]) /
+                        sample_rate_hz);
+  }
+
+  // intervals[0] = data-0 reference, intervals[1] = RTcal.
+  const double rtcal = intervals[1];
+  if (rtcal <= intervals[0]) return result;
+  result.measured_rtcal_s = rtcal;
+  const double pivot = rtcal / 2.0;
+
+  std::size_t data_start = 2;
+  if (intervals.size() > 2 && intervals[2] > rtcal * 1.1) {
+    result.saw_preamble = true;
+    result.measured_trcal_s = intervals[2];
+    data_start = 3;
+  }
+  for (std::size_t k = data_start; k < intervals.size(); ++k) {
+    result.bits.push_back(intervals[k] > pivot);
+  }
+  result.valid = true;
+  return result;
+}
+
+}  // namespace ivnet::gen2

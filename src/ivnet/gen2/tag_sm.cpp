@@ -1,0 +1,171 @@
+#include "ivnet/gen2/tag_sm.hpp"
+
+#include <utility>
+
+namespace ivnet::gen2 {
+
+TagStateMachine::TagStateMachine(Bits epc, std::uint64_t seed)
+    : epc_(std::move(epc)), rng_(seed) {}
+
+void TagStateMachine::power_up() {
+  if (state_ == TagState::kOff) state_ = TagState::kReady;
+}
+
+void TagStateMachine::power_loss() {
+  state_ = TagState::kOff;
+  slot_ = 0;
+  rn16_ = 0;
+  selected_ = false;
+  inventoried_ = false;
+  handle_ = 0;
+}
+
+std::uint16_t TagStateMachine::draw_rn16() {
+  return static_cast<std::uint16_t>(rng_.uniform_int(0, 0xFFFF));
+}
+
+std::optional<Bits> TagStateMachine::on_command(const Bits& command_bits) {
+  if (state_ == TagState::kOff) return std::nullopt;
+  switch (classify(command_bits)) {
+    case CommandKind::kQuery:
+      if (auto q = QueryCommand::parse(command_bits)) return on_query(*q);
+      return std::nullopt;
+    case CommandKind::kQueryRep:
+      if (auto r = QueryRepCommand::parse(command_bits)) return on_query_rep(*r);
+      return std::nullopt;
+    case CommandKind::kAck:
+      if (auto a = AckCommand::parse(command_bits)) return on_ack(*a);
+      return std::nullopt;
+    case CommandKind::kSelect:
+      if (auto s = SelectCommand::parse(command_bits)) on_select(*s);
+      return std::nullopt;
+    case CommandKind::kUnknown:
+      return on_access(command_bits);
+  }
+  return std::nullopt;
+}
+
+std::optional<Bits> TagStateMachine::on_access(const Bits& command_bits) {
+  switch (classify_access(command_bits)) {
+    case AccessKind::kReqRn: {
+      const auto req = ReqRnCommand::parse(command_bits);
+      if (!req || state_ != TagState::kAcknowledged || req->rn16 != rn16_) {
+        return std::nullopt;
+      }
+      handle_ = draw_rn16();
+      state_ = TagState::kOpen;
+      return handle_reply(handle_);
+    }
+    case AccessKind::kRead: {
+      const auto read = ReadCommand::parse(command_bits);
+      if (!read || state_ != TagState::kOpen || read->handle != handle_) {
+        return std::nullopt;
+      }
+      std::vector<std::uint16_t> words;
+      for (std::size_t i = 0; i < read->word_count; ++i) {
+        const auto w = memory_.read(read->bank, read->word_addr + i);
+        if (!w) return std::nullopt;  // out-of-range: tag stays silent
+        words.push_back(*w);
+      }
+      return read_reply(words, handle_);
+    }
+    case AccessKind::kWrite: {
+      const auto write = WriteCommand::parse(command_bits);
+      if (!write || state_ != TagState::kOpen || write->handle != handle_) {
+        return std::nullopt;
+      }
+      if (!memory_.write(write->bank, write->word_addr, write->data)) {
+        return std::nullopt;
+      }
+      return write_reply(handle_);
+    }
+    case AccessKind::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bits> TagStateMachine::on_query(const QueryCommand& query) {
+  // Only tags whose inventoried flag matches the round's target take part.
+  if (inventoried_ != query.target_b) {
+    state_ = TagState::kReady;
+    return std::nullopt;
+  }
+  // Sel = 2/3 restricts the round to tags with the SL flag (de)asserted.
+  if (query.sel >= 2) {
+    const bool need_sl = query.sel == 3;
+    if (selected_ != need_sl) {
+      state_ = TagState::kReady;
+      return std::nullopt;
+    }
+  }
+  uplink_m_ = query.m;  // replies use the modulation the Query requested
+  slot_ = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, (1 << query.q) - 1));
+  if (slot_ == 0) {
+    rn16_ = draw_rn16();
+    state_ = TagState::kReply;
+    return rn16_frame(rn16_);
+  }
+  state_ = TagState::kArbitrate;
+  return std::nullopt;
+}
+
+std::optional<Bits> TagStateMachine::on_query_rep(const QueryRepCommand&) {
+  if (state_ != TagState::kArbitrate) return std::nullopt;
+  if (slot_ > 0) --slot_;
+  if (slot_ == 0) {
+    rn16_ = draw_rn16();
+    state_ = TagState::kReply;
+    return rn16_frame(rn16_);
+  }
+  return std::nullopt;
+}
+
+std::optional<Bits> TagStateMachine::on_ack(const AckCommand& ack) {
+  if (state_ != TagState::kReply && state_ != TagState::kAcknowledged) {
+    return std::nullopt;
+  }
+  if (ack.rn16 != rn16_) {
+    state_ = TagState::kArbitrate;
+    return std::nullopt;
+  }
+  state_ = TagState::kAcknowledged;
+  inventoried_ = true;
+  return epc_frame();
+}
+
+void TagStateMachine::on_select(const SelectCommand& select) {
+  // Match the mask against the EPC starting at the pointer bit. Membank and
+  // action handling are reduced to the SL-flag use the paper suggests
+  // (Sec. 3.7: "incorporate a select command into its query, specifying the
+  // identifier of the sensor").
+  bool match = true;
+  for (std::size_t i = 0; i < select.mask.size(); ++i) {
+    const std::size_t epc_index = select.pointer + i;
+    if (epc_index >= epc_.size() || epc_[epc_index] != select.mask[i]) {
+      match = false;
+      break;
+    }
+  }
+  selected_ = match;
+}
+
+Bits TagStateMachine::rn16_frame(std::uint16_t rn16) {
+  Bits bits;
+  append_bits(bits, rn16, 16);
+  return bits;
+}
+
+Bits TagStateMachine::epc_frame() const {
+  Bits bits;
+  // PC word: EPC length in 16-bit words (5 bits), then zeros.
+  const auto epc_words = static_cast<std::uint32_t>((epc_.size() + 15) / 16);
+  append_bits(bits, epc_words, 5);
+  append_bits(bits, 0, 11);
+  bits.insert(bits.end(), epc_.begin(), epc_.end());
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+}  // namespace ivnet::gen2

@@ -1,0 +1,79 @@
+// Gen2 tag inventory state machine (Ready / Arbitrate / Reply / Acknowledged)
+// plus the power state the paper's threshold analysis gates everything on:
+// a tag below its power-up threshold is simply Off and hears nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/memory.hpp"
+
+namespace ivnet::gen2 {
+
+enum class TagState { kOff, kReady, kArbitrate, kReply, kAcknowledged, kOpen };
+
+/// The digital core of a battery-free tag.
+class TagStateMachine {
+ public:
+  /// @param epc   EPC payload (96 bits typical).
+  /// @param seed  Seeds the tag's RN16 generator and slot draws.
+  TagStateMachine(Bits epc, std::uint64_t seed);
+
+  TagState state() const { return state_; }
+  const Bits& epc() const { return epc_; }
+  std::uint16_t last_rn16() const { return rn16_; }
+  bool selected() const { return selected_; }
+  /// Session inventoried flag: set once the tag is ACKed; tags whose flag
+  /// does not match the Query's target sit the round out.
+  bool inventoried() const { return inventoried_; }
+
+  /// Harvester crossed the operate threshold: tag boots into Ready.
+  void power_up();
+
+  /// Rail collapsed: all volatile state is lost.
+  void power_loss();
+
+  /// Feed one decoded reader command. Returns the bits the tag backscatters
+  /// in response, or nullopt when the tag stays silent.
+  std::optional<Bits> on_command(const Bits& command_bits);
+
+  /// The RN16 reply frame (16 bits).
+  static Bits rn16_frame(std::uint16_t rn16);
+
+  /// The EPC reply frame: PC + EPC + CRC-16.
+  Bits epc_frame() const;
+
+  /// Word-addressable memory (USER bank holds sensor words).
+  TagMemory& memory() { return memory_; }
+  const TagMemory& memory() const { return memory_; }
+
+  /// The access handle issued by Req_RN (0 until secured).
+  std::uint16_t handle() const { return handle_; }
+
+  /// Uplink modulation the last Query requested (M field); the tag must
+  /// backscatter its replies in this encoding.
+  Miller uplink_modulation() const { return uplink_m_; }
+
+ private:
+  std::optional<Bits> on_query(const QueryCommand& query);
+  std::optional<Bits> on_query_rep(const QueryRepCommand& rep);
+  std::optional<Bits> on_ack(const AckCommand& ack);
+  void on_select(const SelectCommand& select);
+  std::optional<Bits> on_access(const Bits& command_bits);
+  std::uint16_t draw_rn16();
+
+  Bits epc_;
+  Rng rng_;
+  TagState state_ = TagState::kOff;
+  std::uint32_t slot_ = 0;
+  std::uint16_t rn16_ = 0;
+  bool selected_ = false;
+  bool inventoried_ = false;
+  TagMemory memory_;
+  std::uint16_t handle_ = 0;
+  Miller uplink_m_ = Miller::kFm0;
+};
+
+}  // namespace ivnet::gen2

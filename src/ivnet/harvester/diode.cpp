@@ -1,0 +1,79 @@
+#include "ivnet/harvester/diode.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+namespace {
+/// Thermal voltage kT/q at room temperature [V].
+constexpr double kThermalVoltage = 0.02585;
+}  // namespace
+
+Diode::Diode(Model model, std::string name)
+    : model_(model), name_(std::move(name)) {}
+
+Diode Diode::ideal() { return Diode(Model::kIdeal, "ideal"); }
+
+Diode Diode::threshold(double vth_v, double series_resistance_ohm) {
+  assert(vth_v >= 0.0 && series_resistance_ohm > 0.0);
+  Diode d(Model::kThreshold, "threshold");
+  d.vth_ = vth_v;
+  d.rs_ = series_resistance_ohm;
+  return d;
+}
+
+Diode Diode::shockley(double saturation_current_a, double ideality,
+                      double series_resistance_ohm) {
+  assert(saturation_current_a > 0.0 && ideality >= 1.0);
+  Diode d(Model::kShockley, "shockley");
+  d.is_ = saturation_current_a;
+  d.ideality_ = ideality;
+  d.rs_ = series_resistance_ohm;
+  return d;
+}
+
+double Diode::current(double v) const {
+  switch (model_) {
+    case Model::kIdeal:
+      // Near-vertical conduction above zero volts; the small on-resistance
+      // keeps the explicit carrier-rate integrator stable (dt/(Rs*C) < 1
+      // for the Fig. 1 doubler's capacitor values).
+      return v > 0.0 ? v / 5.0 : 0.0;
+    case Model::kThreshold:
+      return v > vth_ ? (v - vth_) / rs_ : 0.0;
+    case Model::kShockley: {
+      // Clamp the exponent to keep the transient integrator stable.
+      const double x = std::min(v / (ideality_ * kThermalVoltage), 60.0);
+      return is_ * (std::exp(x) - 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double Diode::turn_on_voltage() const {
+  switch (model_) {
+    case Model::kIdeal:
+      return 0.0;
+    case Model::kThreshold:
+      return vth_;
+    case Model::kShockley:
+      // Voltage where current reaches 10 uA.
+      return ideality_ * kThermalVoltage * std::log(1e-5 / is_ + 1.0);
+  }
+  return 0.0;
+}
+
+double conduction_angle(double vs, double vth) {
+  if (vs <= vth || vs <= 0.0) return 0.0;
+  return 2.0 * std::acos(vth / vs);
+}
+
+double conduction_duty(double vs, double vth) {
+  return conduction_angle(vs, vth) / kTwoPi;
+}
+
+}  // namespace ivnet

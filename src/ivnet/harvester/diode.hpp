@@ -1,0 +1,65 @@
+// Diode models for the energy-harvesting front end (Sec. 2.1, Fig. 2).
+//
+// The threshold effect — a practical diode conducts only above V_th — is the
+// fundamental limit IVN's beamformer overcomes, so we model it explicitly:
+//   * ideal:     conducts for any V > 0 (Fig. 2, left curve)
+//   * threshold: piecewise-linear, conducts above V_th with slope 1/R_s
+//                (Fig. 2, right curve)
+//   * shockley:  I = I_s * (exp(V / (n*V_T)) - 1), the physical law
+#pragma once
+
+#include <string>
+
+namespace ivnet {
+
+/// A two-terminal diode with a selectable I-V model.
+class Diode {
+ public:
+  /// Ideal rectifier: zero forward drop, infinite reverse blocking.
+  static Diode ideal();
+
+  /// Piecewise-linear threshold diode. Typical RF-IC harvester diodes have
+  /// V_th between 200 mV and 400 mV (Sec. 2.1.1).
+  static Diode threshold(double vth_v, double series_resistance_ohm = 10.0);
+
+  /// Shockley diode. `saturation_current_a` ~ nA for Schottky detectors.
+  static Diode shockley(double saturation_current_a, double ideality = 1.05,
+                        double series_resistance_ohm = 10.0);
+
+  /// Current [A] through the diode for a forward voltage `v` [V].
+  /// Reverse bias returns 0 (ideal/threshold) or -I_s (shockley).
+  double current(double v) const;
+
+  /// The effective turn-on voltage: 0 for ideal, V_th for threshold, and the
+  /// voltage where the Shockley current reaches 10 uA otherwise.
+  double turn_on_voltage() const;
+
+  /// True once `v` is past the turn-on voltage (used for conduction-angle
+  /// bookkeeping in Fig. 4 reproductions).
+  bool conducting(double v) const { return v > turn_on_voltage(); }
+
+  const std::string& model_name() const { return name_; }
+
+ private:
+  enum class Model { kIdeal, kThreshold, kShockley };
+
+  Diode(Model model, std::string name);
+
+  Model model_;
+  std::string name_;
+  double vth_ = 0.0;
+  double rs_ = 10.0;
+  double is_ = 1e-9;
+  double ideality_ = 1.05;
+};
+
+/// Fraction of a carrier cycle during which a sinusoid of amplitude `vs`
+/// exceeds `vth` — the conduction angle omega of Fig. 4, returned in radians
+/// per cycle (0 when vs <= vth, approaching pi as vs >> vth for a half-wave
+/// element). omega = 2 * acos(vth / vs).
+double conduction_angle(double vs, double vth);
+
+/// Conduction angle as a duty fraction in [0, 0.5]: omega / (2*pi).
+double conduction_duty(double vs, double vth);
+
+}  // namespace ivnet

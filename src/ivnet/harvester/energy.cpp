@@ -1,0 +1,41 @@
+#include "ivnet/harvester/energy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ivnet {
+
+EnergyAccumulator::EnergyAccumulator(double task_energy_j, double leakage_w)
+    : task_energy_j_(task_energy_j), leakage_w_(leakage_w) {
+  assert(task_energy_j_ > 0.0);
+  assert(leakage_w_ >= 0.0);
+}
+
+int EnergyAccumulator::step(double power_w, double dt_s) {
+  stored_j_ += (power_w - leakage_w_) * dt_s;
+  stored_j_ = std::max(stored_j_, 0.0);
+  int bursts = 0;
+  while (stored_j_ >= task_energy_j_) {
+    stored_j_ -= task_energy_j_;
+    ++bursts;
+  }
+  completed_ += bursts;
+  return bursts;
+}
+
+double EnergyAccumulator::steady_duty_cycle(double avg_power_w) const {
+  const double net = avg_power_w - leakage_w_;
+  if (net <= 0.0) return 0.0;
+  // One task costs task_energy_j; with net power P the cadence is P / E
+  // tasks per second. Treat a task as ~1 ms of activity for the duty figure.
+  constexpr double kTaskDuration = 1e-3;
+  return std::min(1.0, net / task_energy_j_ * kTaskDuration);
+}
+
+double EnergyAccumulator::time_to_first_task(double power_w) const {
+  const double net = power_w - leakage_w_;
+  if (net <= 0.0) return -1.0;
+  return task_energy_j_ / net;
+}
+
+}  // namespace ivnet

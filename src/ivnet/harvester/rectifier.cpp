@@ -1,0 +1,35 @@
+#include "ivnet/harvester/rectifier.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ivnet {
+
+Rectifier::Rectifier(int stages, Diode diode)
+    : stages_(stages), diode_(std::move(diode)) {
+  assert(stages_ >= 1);
+}
+
+double Rectifier::open_circuit_vdc(double vs) const {
+  const double headroom = vs - diode_.turn_on_voltage();
+  if (headroom <= 0.0) return 0.0;
+  return static_cast<double>(stages_) * headroom;
+}
+
+double Rectifier::efficiency(double vs) const {
+  const double vth = diode_.turn_on_voltage();
+  if (vs <= vth || vs <= 0.0) return 0.0;
+  const double ratio = (vs - vth) / vs;
+  return ratio * ratio;
+}
+
+double Rectifier::dc_power(double vs, double load_ohm, double source_ohm) const {
+  assert(load_ohm > 0.0 && source_ohm > 0.0);
+  const double vdc = open_circuit_vdc(vs);
+  const double r_src = static_cast<double>(stages_) * source_ohm;
+  const double v_load = vdc * load_ohm / (load_ohm + r_src);
+  return v_load * v_load / load_ohm;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,72 @@
+#include "ivnet/harvester/transient.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+TransientResult simulate_doubler_waveform(const DoublerConfig& config,
+                                          const std::vector<double>& v_in,
+                                          double sample_rate_hz) {
+  TransientResult r;
+  r.sample_rate_hz = sample_rate_hz;
+  r.v_in = v_in;
+  r.v_out.resize(v_in.size());
+  r.d1_conducting.resize(v_in.size());
+  r.d2_conducting.resize(v_in.size());
+
+  const double dt = 1.0 / sample_rate_hz;
+  // State: vc1 = voltage across C1 (series cap, input side polarity),
+  //        vc2 = voltage across C2 (output).
+  double vc1 = 0.0;
+  double vc2 = 0.0;
+  std::size_t on_count = 0;
+
+  for (std::size_t i = 0; i < v_in.size(); ++i) {
+    // Node A sits between C1 and the diode pair: vA = v_in + vc1.
+    const double va = v_in[i] + vc1;
+    // D1 conducts from ground into node A when va < 0 (negative half cycle,
+    // Fig. 1a): forward voltage across D1 is -va.
+    const double i_d1 = config.diode.current(-va);
+    // D2 conducts from node A into C2 when va > vc2 (positive half cycle,
+    // Fig. 1b): forward voltage is va - vc2.
+    const double i_d2 = config.diode.current(va - vc2);
+
+    // Currents: D1 pulls node A up (charges C1 toward -v_in), D2 drains node
+    // A into C2. C1 sees the net node-A current; C2 integrates D2 minus load.
+    const double i_load = vc2 / config.load_ohm;
+    vc1 += (i_d1 - i_d2) * dt / config.c1_f;
+    vc2 += (i_d2 - i_load) * dt / config.c2_f;
+    if (vc2 < 0.0) vc2 = 0.0;
+
+    r.v_out[i] = vc2;
+    r.d1_conducting[i] = i_d1 > 1e-9;
+    r.d2_conducting[i] = i_d2 > 1e-9;
+    if (r.d1_conducting[i] || r.d2_conducting[i]) ++on_count;
+  }
+  r.final_v_out = r.v_out.empty() ? 0.0 : r.v_out.back();
+  r.conduction_fraction =
+      v_in.empty() ? 0.0
+                   : static_cast<double>(on_count) /
+                         static_cast<double>(v_in.size());
+  return r;
+}
+
+TransientResult simulate_doubler(const DoublerConfig& config, double amplitude_v,
+                                 double carrier_hz, int cycles,
+                                 int samples_per_cycle) {
+  assert(cycles > 0 && samples_per_cycle >= 16);
+  const double fs = carrier_hz * static_cast<double>(samples_per_cycle);
+  const auto n = static_cast<std::size_t>(cycles) *
+                 static_cast<std::size_t>(samples_per_cycle);
+  std::vector<double> v_in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v_in[i] = amplitude_v *
+              std::cos(kTwoPi * carrier_hz * static_cast<double>(i) / fs);
+  }
+  return simulate_doubler_waveform(config, v_in, fs);
+}
+
+}  // namespace ivnet

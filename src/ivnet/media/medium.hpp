@@ -1,0 +1,90 @@
+// Dielectric media: the propagation substrate of Sec. 2.2.1.
+//
+// A medium is characterized by its relative permittivity eps_r and
+// conductivity sigma [S/m]. From these we derive, at a given frequency, the
+// exact lossy-medium attenuation constant alpha [Np/m], phase constant beta
+// [rad/m], and complex wave impedance eta [ohm]:
+//
+//   alpha = w * sqrt(mu*eps/2 * (sqrt(1 + (sigma/(w*eps))^2) - 1))
+//   beta  = w * sqrt(mu*eps/2 * (sqrt(1 + (sigma/(w*eps))^2) + 1))
+//   eta   = sqrt(j*w*mu / (sigma + j*w*eps))
+//
+// The paper quotes tissue losses of 2.3-6.9 dB/cm at low-GHz (alpha between
+// 13 and 80 Np/m per [39]) and 3-5 dB of air-tissue boundary loss; the preset
+// parameters below land in those ranges at 915 MHz.
+#pragma once
+
+#include <complex>
+#include <string>
+
+namespace ivnet {
+
+/// A homogeneous, non-magnetic, lossy dielectric medium.
+class Medium {
+ public:
+  Medium(std::string name, double eps_r, double sigma_s_per_m);
+
+  const std::string& name() const { return name_; }
+  double eps_r() const { return eps_r_; }
+  double sigma() const { return sigma_; }
+
+  /// Attenuation constant alpha [Np/m] at `freq_hz` (field decays e^{-alpha d}).
+  double alpha(double freq_hz) const;
+
+  /// Phase constant beta [rad/m] at `freq_hz`.
+  double beta(double freq_hz) const;
+
+  /// Complex intrinsic wave impedance [ohm] at `freq_hz`.
+  std::complex<double> impedance(double freq_hz) const;
+
+  /// Wavelength inside the medium [m] (2*pi / beta).
+  double wavelength_in(double freq_hz) const;
+
+  /// Power loss rate [dB/m]. Power decays as e^{-2*alpha*d}, so this is
+  /// 2 * alpha * 10*log10(e) = 8.686 * alpha dB/m.
+  double power_loss_db_per_m(double freq_hz) const;
+
+  /// Convenience: power loss in dB/cm, the unit Sec. 2.2.1 quotes.
+  double power_loss_db_per_cm(double freq_hz) const;
+
+  /// Loss tangent sigma / (w * eps) at `freq_hz`.
+  double loss_tangent(double freq_hz) const;
+
+ private:
+  std::string name_;
+  double eps_r_;
+  double sigma_;
+};
+
+/// Field (amplitude) transmission coefficient t = 2*eta2 / (eta1 + eta2) for
+/// a normal-incidence boundary crossing from `from` into `to` at `freq_hz`.
+std::complex<double> boundary_transmission(const Medium& from, const Medium& to,
+                                           double freq_hz);
+
+/// Fraction of incident POWER transmitted across the boundary (Poynting-flux
+/// ratio), in [0, 1].
+double boundary_power_transmittance(const Medium& from, const Medium& to,
+                                    double freq_hz);
+
+/// Boundary power loss in dB (positive number). The paper quotes 3-5 dB for
+/// air -> tissue around 1 GHz.
+double boundary_loss_db(const Medium& from, const Medium& to, double freq_hz);
+
+// --- Presets (parameters at ~915 MHz, from standard tissue dielectric data
+// --- and the simulated-fluid recipes the paper evaluates; Sec. 6.1.1(c)).
+namespace media {
+Medium air();
+Medium water();             ///< Tap-grade water (tank experiments, Fig. 7/13).
+Medium gastric_fluid();     ///< USP simulated gastric fluid.
+Medium intestinal_fluid();  ///< USP simulated intestinal fluid.
+Medium steak();             ///< Bovine muscle.
+Medium bacon();             ///< Pork belly (fat-dominated).
+Medium chicken();           ///< Chicken breast.
+Medium skin();
+Medium fat();
+Medium muscle();
+Medium stomach_wall();
+Medium stomach_contents();
+}  // namespace media
+
+}  // namespace ivnet

@@ -1,0 +1,107 @@
+#include "ivnet/reader/inventory.hpp"
+
+#include <algorithm>
+
+namespace ivnet {
+
+InventoryRound::InventoryRound(InventoryConfig config)
+    : config_(std::move(config)) {}
+
+gen2::Bits InventoryRound::extract_epc(const gen2::Bits& frame) {
+  if (frame.size() < 32 || !gen2::check_crc16(frame)) return {};
+  return gen2::Bits(frame.begin() + 16, frame.end() - 16);
+}
+
+InventoryResult InventoryRound::run(std::span<gen2::TagStateMachine*> tags,
+                                    Rng& rng) const {
+  InventoryResult result;
+
+  if (config_.use_select) {
+    gen2::SelectCommand select;
+    select.pointer = config_.select_pointer;
+    select.mask = config_.select_mask;
+    const auto bits = select.encode();
+    for (auto* tag : tags) tag->on_command(bits);
+  }
+
+  gen2::QueryCommand query;
+  query.q = config_.q;
+  query.session = config_.session;
+  query.sel = config_.use_select ? 3 : 0;  // SL asserted when addressing
+
+  // Collect the replies of the first slot (Query), then iterate QueryRep.
+  std::vector<std::pair<gen2::TagStateMachine*, gen2::Bits>> replies;
+  auto broadcast = [&](const gen2::Bits& command) {
+    replies.clear();
+    for (auto* tag : tags) {
+      if (auto reply = tag->on_command(command)) {
+        replies.emplace_back(tag, *reply);
+      }
+    }
+  };
+
+  broadcast(query.encode());
+  const std::size_t total_slots =
+      std::min<std::size_t>(config_.max_slots,
+                            (std::size_t{1} << config_.q) + tags.size());
+  for (std::size_t slot = 0; slot < total_slots; ++slot) {
+    if (replies.empty()) {
+      ++result.empty_slots;
+    } else {
+      gen2::TagStateMachine* winner = nullptr;
+      if (replies.size() == 1) {
+        winner = replies.front().first;
+      } else {
+        ++result.collisions;
+        if (rng.uniform() < config_.capture_probability) {
+          // Capture effect: one (random) reply survives the collision.
+          winner = replies[static_cast<std::size_t>(rng.uniform_int(
+                               0, static_cast<std::int64_t>(replies.size()) -
+                                      1))]
+                       .first;
+        }
+      }
+      if (winner != nullptr) {
+        gen2::AckCommand ack;
+        ack.rn16 = winner->last_rn16();
+        // The ACK is broadcast; only the matching tag answers with its EPC.
+        for (auto* tag : tags) {
+          if (auto epc_frame = tag->on_command(ack.encode())) {
+            const auto epc = extract_epc(*epc_frame);
+            if (epc.empty()) {
+              ++result.crc_failures;
+            } else {
+              result.epcs.push_back(epc);
+            }
+          }
+        }
+      }
+    }
+    ++result.slots_used;
+    broadcast(gen2::QueryRepCommand{.session = config_.session}.encode());
+  }
+  return result;
+}
+
+InventoryResult InventoryRound::run_until_complete(
+    std::span<gen2::TagStateMachine*> tags, std::size_t max_rounds,
+    Rng& rng) const {
+  InventoryResult total;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto r = run(tags, rng);
+    total.slots_used += r.slots_used;
+    total.collisions += r.collisions;
+    total.empty_slots += r.empty_slots;
+    total.crc_failures += r.crc_failures;
+    for (const auto& epc : r.epcs) {
+      if (std::find(total.epcs.begin(), total.epcs.end(), epc) ==
+          total.epcs.end()) {
+        total.epcs.push_back(epc);
+      }
+    }
+    if (total.epcs.size() >= tags.size()) break;
+  }
+  return total;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,59 @@
+#include "ivnet/rf/antenna.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+Antenna::Antenna(std::string name, double gain_dbi, double aperture_cap_m2)
+    : name_(std::move(name)),
+      gain_dbi_(gain_dbi),
+      aperture_cap_m2_(aperture_cap_m2) {}
+
+double Antenna::gain_linear() const { return from_db(gain_dbi_); }
+
+double Antenna::effective_aperture_m2(double freq_hz, const Medium& medium) const {
+  const double lambda = medium.wavelength_in(freq_hz);
+  const double aperture = gain_linear() * lambda * lambda / (4.0 * kPi);
+  if (aperture_cap_m2_ > 0.0) return std::min(aperture, aperture_cap_m2_);
+  return aperture;
+}
+
+double Antenna::orientation_gain(double theta_rad) const {
+  // Dipole-ish pattern with a -17 dB floor at the null.
+  constexpr double kFloor = 0.02;
+  const double c = std::abs(std::cos(theta_rad));
+  return kFloor + (1.0 - kFloor) * c * c;
+}
+
+void Antenna::set_polarization_factor(double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  polarization_factor_ = factor;
+}
+
+namespace antennas {
+
+Antenna mt242025() { return Antenna("MT-242025", 7.0); }
+
+Antenna standard_tag_antenna() {
+  // 1.4 cm x 7 cm meandered dipole; ~2 dBi in air, aperture capped at a few
+  // times the physical footprint (9.8 cm^2).
+  Antenna ant("AD-238u8", 2.0, /*aperture_cap_m2=*/3.0e-3);
+  ant.set_polarization_factor(0.5);  // RHCP reader -> linear tag
+  return ant;
+}
+
+Antenna miniature_tag_antenna() {
+  // 1.2 cm x 0.3 cm: electrically tiny; low gain and a hard aperture cap
+  // near its physical area (0.36 cm^2 footprint).
+  Antenna ant("Dash-On-XS", -6.0, /*aperture_cap_m2=*/2.5e-5);
+  ant.set_polarization_factor(0.5);
+  return ant;
+}
+
+}  // namespace antennas
+}  // namespace ivnet

@@ -1,0 +1,60 @@
+// Antenna models: transmit-side gain and the receive-side effective aperture
+// that Sec. 2.2.2 identifies as the miniature-device bottleneck (Eq. 3).
+#pragma once
+
+#include <string>
+
+#include "ivnet/media/medium.hpp"
+
+namespace ivnet {
+
+/// A transmit or receive antenna.
+///
+/// Receive behaviour is governed by the effective aperture
+///   A_eff = G * lambda^2 / (4*pi)
+/// where lambda is the wavelength *in the surrounding medium* — a key reason
+/// in-tissue apertures shrink (lambda drops by sqrt(eps_r)). Millimeter tags
+/// additionally cap their aperture by physical size: an electrically small
+/// antenna cannot exceed ~A_physical by much, so we take
+///   A_eff = min(G*lambda^2/4pi, aperture_cap_m2)  when a cap is set.
+class Antenna {
+ public:
+  /// @param name          Human-readable label.
+  /// @param gain_dbi      Boresight gain [dBi].
+  /// @param aperture_cap_m2  Physical-size aperture cap; <= 0 means uncapped.
+  Antenna(std::string name, double gain_dbi, double aperture_cap_m2 = 0.0);
+
+  const std::string& name() const { return name_; }
+  double gain_dbi() const { return gain_dbi_; }
+  double gain_linear() const;
+
+  /// Effective aperture [m^2] at `freq_hz` in `medium`.
+  double effective_aperture_m2(double freq_hz, const Medium& medium) const;
+
+  /// Orientation pattern factor in [0, 1] for a misalignment angle `theta`
+  /// [rad] off boresight: a dipole-like |cos(theta)|-based pattern with a
+  /// floor so the null is not perfect (real tags keep a weak response).
+  double orientation_gain(double theta_rad) const;
+
+  /// Polarization mismatch power factor in [0, 1]. RHCP reader antenna to a
+  /// linear tag antenna is the classic 3 dB (0.5); set via config.
+  double polarization_factor() const { return polarization_factor_; }
+  void set_polarization_factor(double factor);
+
+ private:
+  std::string name_;
+  double gain_dbi_;
+  double aperture_cap_m2_;
+  double polarization_factor_ = 1.0;
+};
+
+namespace antennas {
+/// MTI MT-242025: the 7 dBi RHCP panel used by IVN's beamformer (Sec. 5(a)).
+Antenna mt242025();
+/// Avery Dennison AD-238u8 standard UHF tag antenna (1.4 cm x 7 cm dipole).
+Antenna standard_tag_antenna();
+/// Xerafy Dash-On XS miniature tag antenna (1.2 cm x 0.3 cm x 0.22 cm).
+Antenna miniature_tag_antenna();
+}  // namespace antennas
+
+}  // namespace ivnet

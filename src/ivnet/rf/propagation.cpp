@@ -1,0 +1,55 @@
+#include "ivnet/rf/propagation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+double air_field_amplitude(double tx_power_w, double tx_gain_dbi, double r_m) {
+  assert(r_m > 0.0);
+  return std::sqrt(60.0 * tx_power_w * from_db(tx_gain_dbi)) / r_m;
+}
+
+LinkBudget::LinkBudget(Antenna tx_antenna, Antenna rx_antenna,
+                       LayeredMedium stack)
+    : tx_(std::move(tx_antenna)),
+      rx_(std::move(rx_antenna)),
+      stack_(std::move(stack)) {}
+
+std::complex<double> LinkBudget::field_per_sqrt_watt(const LinkGeometry& geom,
+                                                     double freq_hz) const {
+  const double e_air = air_field_amplitude(1.0, tx_.gain_dbi(), geom.air_distance_m);
+  // Air-path phase: 2*pi*r/lambda.
+  const double air_phase = -kTwoPi * geom.air_distance_m / wavelength(freq_hz);
+  std::complex<double> field = std::polar(e_air, air_phase);
+  if (geom.depth_m > 0.0 && !stack_.layers().empty()) {
+    field *= stack_.field_transfer_at_depth(freq_hz, geom.depth_m);
+  }
+  return field;
+}
+
+double LinkBudget::power_gain(const LinkGeometry& geom, double freq_hz) const {
+  const std::complex<double> field = field_per_sqrt_watt(geom, freq_hz);
+  const Medium& local = (geom.depth_m > 0.0 && !stack_.layers().empty())
+                            ? stack_.medium_at_depth(geom.depth_m)
+                            : stack_.outer();
+  const double eta = std::abs(local.impedance(freq_hz));
+  // Eq. 3 with peak-field convention: time-average power density of a
+  // travelling wave is |E_peak|^2 / (2*eta).
+  const double density = std::norm(field) / (2.0 * eta);
+  const double aperture = rx_.effective_aperture_m2(freq_hz, local);
+  return density * aperture * rx_.orientation_gain(geom.orientation_rad) *
+         rx_.polarization_factor();
+}
+
+double LinkBudget::voltage_per_sqrt_watt(const LinkGeometry& geom,
+                                         double freq_hz,
+                                         double rx_resistance_ohm) const {
+  const double p = power_gain(geom, freq_hz);
+  return std::sqrt(2.0 * p * rx_resistance_ohm);
+}
+
+}  // namespace ivnet

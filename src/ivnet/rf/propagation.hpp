@@ -1,0 +1,66 @@
+// Propagation physics: Eq. 2 (|E| = T*A/r * e^{-alpha*d}) and Eq. 3
+// (P_L = E^2/eta * A_eff), composed into a single link-budget helper.
+//
+// Geometry matches Fig. 3: the transmitter stands a distance r in air from
+// the body (or tank) surface; the sensor sits a further depth d inside the
+// medium stack.
+#pragma once
+
+#include <complex>
+
+#include "ivnet/media/layered.hpp"
+#include "ivnet/media/medium.hpp"
+#include "ivnet/rf/antenna.hpp"
+
+namespace ivnet {
+
+/// RMS -> peak field convention: all field amplitudes here are PEAK [V/m].
+
+/// Peak electric field at distance `r_m` in air from a transmitter radiating
+/// `tx_power_w` through an antenna of `tx_gain_dbi`:
+///   E = sqrt(60 * P * G) / r        (from S = PG/(4*pi*r^2), E = sqrt(2*eta0*S))
+double air_field_amplitude(double tx_power_w, double tx_gain_dbi, double r_m);
+
+/// One TX-antenna -> sensor link.
+struct LinkGeometry {
+  double air_distance_m = 1.0;   ///< r: transmitter to the medium boundary.
+  double depth_m = 0.0;          ///< d: boundary to the sensor.
+  double orientation_rad = 0.0;  ///< sensor misalignment off boresight.
+};
+
+/// Full link budget for one transmit antenna and one sensor.
+class LinkBudget {
+ public:
+  /// @param tx_antenna  Transmit antenna (gain used; Eq. 2's A via power).
+  /// @param rx_antenna  Sensor antenna (aperture per Eq. 3).
+  /// @param stack       Media the wave crosses after the air path; the
+  ///                    sensor sits `depth_m` into this stack.
+  LinkBudget(Antenna tx_antenna, Antenna rx_antenna, LayeredMedium stack);
+
+  /// Complex field at the sensor per sqrt-watt of transmit power [V/m/√W]:
+  /// air spreading * boundary transmissions * in-tissue attenuation+phase.
+  std::complex<double> field_per_sqrt_watt(const LinkGeometry& geom,
+                                           double freq_hz) const;
+
+  /// Power available to the sensor's harvester per watt transmitted
+  /// (dimensionless power gain), Eq. 3 with orientation & polarization:
+  ///   P_L / P_tx = |E_1W|^2 / eta_medium * A_eff * G_orient * G_pol
+  double power_gain(const LinkGeometry& geom, double freq_hz) const;
+
+  /// Open-circuit peak voltage amplitude at the harvester input per
+  /// sqrt-watt transmitted [V/√W], assuming a matched antenna of input
+  /// resistance `rx_resistance_ohm`: V = sqrt(2 * P_L * R).
+  double voltage_per_sqrt_watt(const LinkGeometry& geom, double freq_hz,
+                               double rx_resistance_ohm) const;
+
+  const Antenna& tx_antenna() const { return tx_; }
+  const Antenna& rx_antenna() const { return rx_; }
+  const LayeredMedium& stack() const { return stack_; }
+
+ private:
+  Antenna tx_;
+  Antenna rx_;
+  LayeredMedium stack_;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,64 @@
+#include "ivnet/rf/sounding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ivnet {
+
+DelayProfile delay_profile(const Channel& channel, std::size_t tx) {
+  assert(tx < channel.num_tx());
+  DelayProfile profile;
+  const auto& rays = channel.rays()[tx];
+  double weighted = 0.0;
+  for (const Ray& ray : rays) {
+    const double p = ray.amplitude * ray.amplitude;
+    profile.total_power += p;
+    weighted += p * ray.delay_s;
+  }
+  if (profile.total_power <= 0.0) return profile;
+  profile.mean_delay_s = weighted / profile.total_power;
+  double second = 0.0;
+  for (const Ray& ray : rays) {
+    const double p = ray.amplitude * ray.amplitude;
+    const double d = ray.delay_s - profile.mean_delay_s;
+    second += p * d * d;
+  }
+  profile.rms_spread_s = std::sqrt(second / profile.total_power);
+  return profile;
+}
+
+double coherence_bandwidth_hz(const DelayProfile& profile) {
+  if (profile.rms_spread_s <= 0.0) return 1e18;
+  return 1.0 / (5.0 * profile.rms_spread_s);
+}
+
+double band_flatness(const Channel& channel, std::size_t tx, double f_lo_hz,
+                     double f_hi_hz, std::size_t points) {
+  assert(points >= 2 && f_hi_hz > f_lo_hz);
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t k = 0; k < points; ++k) {
+    const double f = f_lo_hz + (f_hi_hz - f_lo_hz) * static_cast<double>(k) /
+                                   static_cast<double>(points - 1);
+    const double mag = std::abs(channel.gain(tx, f));
+    lo = std::min(lo, mag);
+    hi = std::max(hi, mag);
+  }
+  if (hi <= 0.0) return 0.0;
+  return lo / hi;
+}
+
+bool plan_within_coherence(const Channel& channel,
+                           std::span<const double> offsets_hz,
+                           double tolerance) {
+  double span = 0.0;
+  for (double f : offsets_hz) span = std::max(span, std::abs(f));
+  for (std::size_t tx = 0; tx < channel.num_tx(); ++tx) {
+    if (band_flatness(channel, tx, -span, span) < 1.0 - tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,44 @@
+// Channel sounding: delay spread and coherence bandwidth estimation.
+//
+// Eq. 10's formulation "assumes that all the frequencies lie within the
+// coherence bandwidth" (Sec. 3.7). These helpers quantify that assumption
+// for a channel model: the RMS delay spread of its power-delay profile and
+// the classic coherence bandwidth Bc ~ 1/(5 * tau_rms), plus a direct
+// frequency-domain check that the CIB plan's span is flat.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ivnet/rf/channel.hpp"
+
+namespace ivnet {
+
+/// Power-delay statistics of one TX antenna's ray set.
+struct DelayProfile {
+  double mean_delay_s = 0.0;   ///< power-weighted mean excess delay
+  double rms_spread_s = 0.0;   ///< RMS delay spread
+  double total_power = 0.0;    ///< sum of ray powers
+};
+
+/// Compute the delay profile of antenna `tx` of a channel.
+DelayProfile delay_profile(const Channel& channel, std::size_t tx);
+
+/// Coherence bandwidth from the RMS delay spread (50 %-correlation rule):
+/// Bc = 1 / (5 * tau_rms). Returns +inf-like 1e18 for zero spread.
+double coherence_bandwidth_hz(const DelayProfile& profile);
+
+/// Frequency-domain flatness check: the ratio of the minimum to maximum
+/// |H(f)| of antenna `tx` over [f_lo, f_hi] sampled at `points` — 1.0 means
+/// perfectly flat, small values mean a notch inside the span.
+double band_flatness(const Channel& channel, std::size_t tx, double f_lo_hz,
+                     double f_hi_hz, std::size_t points = 33);
+
+/// True when every antenna's response is flat (within `tolerance` of 1.0)
+/// across the CIB plan's offset span — the Sec. 3.7 assumption, checkable.
+bool plan_within_coherence(const Channel& channel,
+                           std::span<const double> offsets_hz,
+                           double tolerance = 0.05);
+
+}  // namespace ivnet

@@ -1,0 +1,28 @@
+#include "ivnet/sdr/clock.hpp"
+
+namespace ivnet {
+
+ClockDistribution::ClockDistribution(double pps_jitter_s, double ref_ppm_rms)
+    : pps_jitter_s_(pps_jitter_s), ref_ppm_rms_(ref_ppm_rms) {}
+
+ClockDistribution ClockDistribution::octoclock() {
+  // Shared 10 MHz + PPS: ~5 ns inter-device alignment, negligible drift.
+  return ClockDistribution(5e-9, 0.0);
+}
+
+ClockDistribution ClockDistribution::free_running() {
+  // Independent TCXOs: tens of microseconds of trigger skew, ~2 ppm drift.
+  return ClockDistribution(20e-6, 2.0);
+}
+
+std::vector<DeviceClock> ClockDistribution::distribute(std::size_t num_devices,
+                                                       Rng& rng) const {
+  std::vector<DeviceClock> clocks(num_devices);
+  for (auto& clock : clocks) {
+    clock.start_offset_s = rng.normal(0.0, pps_jitter_s_);
+    clock.ppm_error = rng.normal(0.0, ref_ppm_rms_);
+  }
+  return clocks;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,48 @@
+// Shared-clock distribution model (the CDA-2900 Octoclock of Sec. 5(a)):
+// a 10 MHz reference that removes inter-device frequency error and a PPS
+// pulse that aligns transmission start times to within a small jitter.
+//
+// CIB requires coherent *commands* (synchronized envelopes) even though its
+// carriers are deliberately incoherent; the clock model quantifies how much
+// start-time misalignment the system tolerates (tested in tests/sdr).
+#pragma once
+
+#include <vector>
+
+#include "ivnet/common/rng.hpp"
+
+namespace ivnet {
+
+/// Per-device timing/frequency references distributed by the clock box.
+struct DeviceClock {
+  double start_offset_s = 0.0;  ///< residual PPS alignment error
+  double ppm_error = 0.0;       ///< residual reference frequency error
+};
+
+/// The distribution unit: generates per-device clocks.
+class ClockDistribution {
+ public:
+  /// @param pps_jitter_s  RMS start-time jitter between devices (ns-scale
+  ///        with a shared PPS; large when devices free-run).
+  /// @param ref_ppm_rms   RMS frequency error (0 when the 10 MHz reference
+  ///        is shared, ~2 ppm free-running TCXO otherwise).
+  ClockDistribution(double pps_jitter_s, double ref_ppm_rms);
+
+  /// Shared Octoclock: ns jitter, no frequency error.
+  static ClockDistribution octoclock();
+
+  /// Free-running devices: microsecond-scale start error, ppm drift.
+  static ClockDistribution free_running();
+
+  /// Draw clocks for `num_devices` devices.
+  std::vector<DeviceClock> distribute(std::size_t num_devices, Rng& rng) const;
+
+  double pps_jitter_s() const { return pps_jitter_s_; }
+  double ref_ppm_rms() const { return ref_ppm_rms_; }
+
+ private:
+  double pps_jitter_s_;
+  double ref_ppm_rms_;
+};
+
+}  // namespace ivnet

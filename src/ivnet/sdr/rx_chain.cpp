@@ -1,0 +1,53 @@
+#include "ivnet/sdr/rx_chain.hpp"
+
+#include <cmath>
+
+#include "ivnet/signal/noise.hpp"
+#include "ivnet/signal/resampler.hpp"
+
+namespace ivnet {
+
+RxChain::RxChain(RxChainConfig config) : config_(config) {
+  if (config_.saw_bandwidth_hz > 0.0) {
+    saw_.emplace(config_.saw_center_hz, config_.saw_bandwidth_hz,
+                 config_.saw_rejection_db, config_.sample_rate_hz);
+  }
+}
+
+RxCapture RxChain::process(const Waveform& antenna_signal, Rng& rng) const {
+  RxCapture capture;
+  // Hardware: impairments first (they act on the analog signal), then
+  // thermal noise referred to the chain's noise figure over the full rate.
+  Waveform wave = apply_impairments(antenna_signal, config_.impairments);
+  add_awgn(wave,
+           thermal_noise_power(config_.sample_rate_hz,
+                               config_.noise_figure_db),
+           rng);
+
+  // ADC clip.
+  for (auto& s : wave.samples) {
+    const double a = std::abs(s);
+    if (a > config_.saturation_amplitude) {
+      s *= config_.saturation_amplitude / a;
+      capture.clipped = true;
+    }
+  }
+
+  if (saw_) wave = saw_->apply(wave);
+
+  // Digital scrubbing.
+  if (config_.correct_dc) capture.removed_dc = remove_dc(wave);
+  if (config_.correct_cfo) {
+    capture.estimated_cfo_hz = estimate_cfo(wave);
+    remove_cfo(wave, capture.estimated_cfo_hz);
+  }
+  if (config_.correct_iq) {
+    capture.estimated_imbalance = correct_iq_imbalance(wave);
+  }
+  if (config_.decimation > 1) wave = decimate(wave, config_.decimation);
+
+  capture.samples = std::move(wave);
+  return capture;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,57 @@
+// SDR receive chain: the reader-side front end between the antenna and the
+// decoder. Models what the USRP RX path does to the backscatter signal —
+// LNA noise, front-end saturation, direct-conversion IQ impairments, the
+// SAW band filter, DC/CFO/IQ scrubbing, and decimation to the decode rate.
+#pragma once
+
+#include <optional>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/signal/fir.hpp"
+#include "ivnet/signal/iq.hpp"
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+struct RxChainConfig {
+  double sample_rate_hz = 800e3;
+  double noise_figure_db = 6.0;
+  double saturation_amplitude = 1.0;  ///< ADC clip level [sqrt-W]
+  IqImpairments impairments;          ///< hardware imperfections to inject
+  /// SAW passband (complex-baseband center/width); disabled when width <= 0.
+  double saw_center_hz = 0.0;
+  double saw_bandwidth_hz = 0.0;
+  double saw_rejection_db = 50.0;
+  std::size_t decimation = 1;
+  bool correct_dc = true;
+  bool correct_iq = true;
+  bool correct_cfo = false;  ///< only valid on CW-dominated captures
+};
+
+/// Processed capture plus the chain's own telemetry.
+struct RxCapture {
+  Waveform samples;
+  bool clipped = false;        ///< ADC saturation occurred
+  cplx removed_dc{0.0, 0.0};
+  double estimated_cfo_hz = 0.0;
+  IqImpairments estimated_imbalance;
+};
+
+/// One receive front end.
+class RxChain {
+ public:
+  explicit RxChain(RxChainConfig config);
+
+  const RxChainConfig& config() const { return config_; }
+
+  /// Run the chain over an antenna-referred waveform: inject hardware
+  /// impairments and thermal noise, clip at the ADC, band-filter, then
+  /// apply the configured digital corrections and decimation.
+  RxCapture process(const Waveform& antenna_signal, Rng& rng) const;
+
+ private:
+  RxChainConfig config_;
+  std::optional<SawFilter> saw_;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,37 @@
+// Correlation utilities. The in-vivo decode criterion in Sec. 6.2 is a
+// normalized correlation of the received waveform against the tag's known
+// 12-bit FM0 preamble, with success declared above 0.8.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+/// Result of a sliding correlation search.
+struct CorrelationPeak {
+  double value = 0.0;      ///< Normalized correlation in [-1, 1].
+  std::size_t offset = 0;  ///< Start index in the haystack.
+};
+
+/// Pearson-style normalized correlation between two equal-length real spans
+/// (means removed, normalized by the product of norms). Returns 0 when either
+/// span has zero variance.
+double normalized_correlation(std::span<const double> a, std::span<const double> b);
+
+/// Slide `needle` over `haystack` and return the best normalized correlation.
+/// Returns {0, 0} when the needle is longer than the haystack or empty.
+CorrelationPeak best_correlation(std::span<const double> haystack,
+                                 std::span<const double> needle);
+
+/// Complex inner-product correlation |<a, b>| / (|a||b|) of equal-length spans.
+double complex_correlation(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Sampled matched filter output: correlation of the needle at every offset.
+std::vector<double> sliding_correlation(std::span<const double> haystack,
+                                        std::span<const double> needle);
+
+}  // namespace ivnet

@@ -1,0 +1,119 @@
+#include "ivnet/signal/fir.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+}  // namespace
+
+std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
+                                   std::size_t num_taps) {
+  assert(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0);
+  if (num_taps % 2 == 0) ++num_taps;
+  const double fc = cutoff_hz / sample_rate_hz;  // normalized (cycles/sample)
+  const auto mid = static_cast<double>(num_taps - 1) / 2.0;
+  std::vector<double> taps(num_taps);
+  double sum = 0.0;
+  for (std::size_t n = 0; n < num_taps; ++n) {
+    const double k = static_cast<double>(n) - mid;
+    const double window =
+        0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(n) /
+                               static_cast<double>(num_taps - 1));
+    taps[n] = 2.0 * fc * sinc(2.0 * fc * k) * window;
+    sum += taps[n];
+  }
+  for (auto& t : taps) t /= sum;  // unit DC gain
+  return taps;
+}
+
+std::vector<double> design_bandpass(double low_hz, double high_hz,
+                                    double sample_rate_hz, std::size_t num_taps) {
+  assert(low_hz < high_hz);
+  auto lp = design_lowpass((high_hz - low_hz) / 2.0, sample_rate_hz, num_taps);
+  const double center = (low_hz + high_hz) / 2.0;
+  const auto mid = static_cast<double>(lp.size() - 1) / 2.0;
+  // Shift the low-pass prototype up to the band center (real modulation, so
+  // this creates a symmetric band-pass; gain at center doubles, renormalize).
+  for (std::size_t n = 0; n < lp.size(); ++n) {
+    const double k = static_cast<double>(n) - mid;
+    lp[n] *= 2.0 * std::cos(kTwoPi * center * k / sample_rate_hz);
+  }
+  return lp;
+}
+
+Waveform fir_filter(const Waveform& wave, std::span<const double> taps) {
+  Waveform out;
+  out.sample_rate_hz = wave.sample_rate_hz;
+  out.samples.assign(wave.samples.size(), cplx{0.0, 0.0});
+  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() - 1) / 2;
+  const auto n = static_cast<std::ptrdiff_t>(wave.samples.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+      const std::ptrdiff_t src = i + delay - static_cast<std::ptrdiff_t>(t);
+      if (src >= 0 && src < n) acc += taps[t] * wave.samples[src];
+    }
+    out.samples[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> fir_filter(std::span<const double> x,
+                               std::span<const double> taps) {
+  std::vector<double> out(x.size(), 0.0);
+  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() - 1) / 2;
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps.size(); ++t) {
+      const std::ptrdiff_t src = i + delay - static_cast<std::ptrdiff_t>(t);
+      if (src >= 0 && src < n) acc += taps[t] * x[src];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+SawFilter::SawFilter(double center_hz, double bandwidth_hz, double rejection_db,
+                     double sample_rate_hz)
+    : center_hz_(center_hz),
+      bandwidth_hz_(bandwidth_hz),
+      rejection_db_(rejection_db),
+      sample_rate_hz_(sample_rate_hz),
+      lowpass_taps_(design_lowpass(bandwidth_hz / 2.0, sample_rate_hz, 101)) {}
+
+Waveform SawFilter::apply(const Waveform& in) const {
+  // Shift the passband down to DC, low-pass, shift back. Add a small leakage
+  // of the unfiltered input to model finite stopband rejection.
+  Waveform shifted = in;
+  const double dphi = -kTwoPi * center_hz_ / sample_rate_hz_;
+  const cplx step = std::polar(1.0, dphi);
+  cplx rot{1.0, 0.0};
+  for (auto& s : shifted.samples) {
+    s *= rot;
+    rot *= step;
+  }
+  Waveform filtered = fir_filter(shifted, lowpass_taps_);
+  rot = cplx{1.0, 0.0};
+  const cplx unstep = std::polar(1.0, -dphi);
+  for (auto& s : filtered.samples) {
+    s *= rot;
+    rot *= unstep;
+  }
+  const double leak = db_to_amplitude(-rejection_db_);
+  for (std::size_t i = 0; i < filtered.samples.size(); ++i) {
+    filtered.samples[i] += leak * in.samples[i];
+  }
+  return filtered;
+}
+
+}  // namespace ivnet

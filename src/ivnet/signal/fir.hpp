@@ -1,0 +1,57 @@
+// FIR filter design and the SAW band-filter model the out-of-band reader uses
+// to reject CIB self-jamming (Sec. 5(b): "high-rejection SAW filter").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+/// Windowed-sinc low-pass FIR taps. `cutoff_hz` < fs/2; `num_taps` odd
+/// (rounded up if even). Hamming window.
+std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
+                                   std::size_t num_taps);
+
+/// Band-pass FIR taps centered on [low_hz, high_hz].
+std::vector<double> design_bandpass(double low_hz, double high_hz,
+                                    double sample_rate_hz, std::size_t num_taps);
+
+/// Convolve a complex waveform with real taps ("same" alignment: output has
+/// the same length, group delay compensated by (num_taps-1)/2 samples).
+Waveform fir_filter(const Waveform& wave, std::span<const double> taps);
+
+/// Real-signal version of fir_filter.
+std::vector<double> fir_filter(std::span<const double> x,
+                               std::span<const double> taps);
+
+/// Model of a high-rejection SAW band filter: passes the complex-baseband
+/// band [center - bw/2, center + bw/2] and attenuates everything else by
+/// `stopband_rejection_db`. Implemented as an FIR band-pass plus a floor
+/// leakage term so rejection is finite, as in real SAW devices.
+class SawFilter {
+ public:
+  /// @param center_hz    Passband center at complex baseband.
+  /// @param bandwidth_hz Passband width.
+  /// @param rejection_db Stopband rejection (positive dB, typically 40-60).
+  /// @param sample_rate_hz Operating sample rate.
+  SawFilter(double center_hz, double bandwidth_hz, double rejection_db,
+            double sample_rate_hz);
+
+  Waveform apply(const Waveform& in) const;
+
+  double center_hz() const { return center_hz_; }
+  double bandwidth_hz() const { return bandwidth_hz_; }
+  double rejection_db() const { return rejection_db_; }
+
+ private:
+  double center_hz_;
+  double bandwidth_hz_;
+  double rejection_db_;
+  double sample_rate_hz_;
+  std::vector<double> lowpass_taps_;  // applied after shifting passband to DC
+};
+
+}  // namespace ivnet

@@ -1,0 +1,23 @@
+// Goertzel single-bin DFT — used by the out-of-band reader to measure energy
+// in its own band vs. the CIB band without a full FFT.
+#pragma once
+
+#include <span>
+
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+/// Complex DFT coefficient of `wave` at `freq_hz` (complex baseband),
+/// normalized by the number of samples: X(f) = (1/N) * sum x[n] e^{-j2πfn/fs}.
+cplx goertzel(const Waveform& wave, double freq_hz);
+
+/// Power |X(f)|^2 at the given frequency.
+double goertzel_power(const Waveform& wave, double freq_hz);
+
+/// Sum of goertzel_power over a uniform grid of `bins` frequencies spanning
+/// [low_hz, high_hz] — a cheap band-energy estimate.
+double band_power(const Waveform& wave, double low_hz, double high_hz,
+                  std::size_t bins);
+
+}  // namespace ivnet

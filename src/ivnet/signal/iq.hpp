@@ -1,0 +1,44 @@
+// Quadrature impairments of a direct-conversion SDR front end — and their
+// estimators/correctors. The USRP SBX daughterboards of Sec. 5 are
+// direct-conversion radios, so DC offset, IQ gain/phase imbalance, and
+// residual carrier-frequency offset (CFO) are what the receive chain has to
+// scrub before the backscatter decoder sees the signal.
+#pragma once
+
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+/// Impairment parameters of one front end.
+struct IqImpairments {
+  double dc_i = 0.0;            ///< DC offset, in-phase
+  double dc_q = 0.0;            ///< DC offset, quadrature
+  double gain_imbalance_db = 0.0;  ///< Q-arm gain relative to I-arm
+  double phase_skew_rad = 0.0;  ///< quadrature phase error
+  double cfo_hz = 0.0;          ///< residual carrier frequency offset
+};
+
+/// Apply impairments to a clean waveform (what the hardware does to us):
+///   y = dc + e^{j 2 pi cfo t} * (I + j * g * (Q cos(skew) + I sin(skew)))
+Waveform apply_impairments(const Waveform& in, const IqImpairments& imp);
+
+/// Estimate and remove the DC offset (block mean).
+cplx remove_dc(Waveform& wave);
+
+/// Estimate the image rejection ratio [dB] of a waveform known to contain a
+/// single tone at `tone_hz`: power at +tone over power at -tone. A perfect
+/// front end has IRR = inf; 25-40 dB is typical uncorrected hardware.
+double image_rejection_ratio_db(const Waveform& wave, double tone_hz);
+
+/// Blind IQ imbalance correction (Moseley-Slump): estimates the gain and
+/// phase imbalance from circularity statistics E[y^2]/E[|y|^2] and applies
+/// the compensating 2x2 real matrix. Returns the estimated imbalance.
+IqImpairments correct_iq_imbalance(Waveform& wave);
+
+/// Estimate CFO from the average phase increment of a CW segment [Hz].
+double estimate_cfo(const Waveform& wave);
+
+/// Mix by -cfo to remove a known frequency offset.
+void remove_cfo(Waveform& wave, double cfo_hz);
+
+}  // namespace ivnet

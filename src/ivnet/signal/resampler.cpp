@@ -1,0 +1,120 @@
+#include "ivnet/signal/resampler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/signal/fir.hpp"
+
+namespace ivnet {
+
+Waveform decimate(const Waveform& in, std::size_t factor) {
+  assert(factor >= 1);
+  if (factor == 1) return in;
+  const double out_rate = in.sample_rate_hz / static_cast<double>(factor);
+  const auto taps = design_lowpass(0.45 * out_rate / 2.0 * 2.0,
+                                   in.sample_rate_hz, 63);
+  const Waveform filtered = fir_filter(in, taps);
+  Waveform out;
+  out.sample_rate_hz = out_rate;
+  out.samples.reserve(filtered.samples.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.samples.size(); i += factor) {
+    out.samples.push_back(filtered.samples[i]);
+  }
+  return out;
+}
+
+std::vector<double> decimate(std::span<const double> in, std::size_t factor,
+                             double sample_rate_hz) {
+  assert(factor >= 1);
+  if (factor == 1) return std::vector<double>(in.begin(), in.end());
+  const double out_rate = sample_rate_hz / static_cast<double>(factor);
+  const auto taps =
+      design_lowpass(0.45 * out_rate, sample_rate_hz, 63);
+  const auto filtered = fir_filter(in, taps);
+  std::vector<double> out;
+  out.reserve(filtered.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) {
+    out.push_back(filtered[i]);
+  }
+  return out;
+}
+
+RationalResampler::RationalResampler(std::size_t up, std::size_t down,
+                                     std::size_t taps_per_phase) {
+  assert(up >= 1 && down >= 1);
+  const std::size_t g = std::gcd(up, down);
+  up_ = up / g;
+  down_ = down / g;
+  // Prototype low-pass at the tighter of the two Nyquists, designed at the
+  // (virtual) upsampled rate. Normalized cutoff: 0.45 / max(up, down).
+  const double virtual_rate = static_cast<double>(up_);
+  const double cutoff =
+      0.45 * virtual_rate / static_cast<double>(std::max(up_, down_));
+  taps_ = design_lowpass(cutoff, virtual_rate, up_ * taps_per_phase);
+  // Gain compensation: zero-stuffing loses a factor of up.
+  for (auto& t : taps_) t *= static_cast<double>(up_);
+}
+
+std::vector<double> RationalResampler::apply(std::span<const double> in) const {
+  if (up_ == 1 && down_ == 1) return std::vector<double>(in.begin(), in.end());
+  const std::size_t out_len = in.size() * up_ / down_;
+  std::vector<double> out(out_len, 0.0);
+  const auto half = static_cast<std::ptrdiff_t>(taps_.size() / 2);
+  for (std::size_t n = 0; n < out_len; ++n) {
+    // Virtual upsampled index of this output sample.
+    const std::size_t v = n * down_;
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      const std::ptrdiff_t vin =
+          static_cast<std::ptrdiff_t>(v) + half - static_cast<std::ptrdiff_t>(t);
+      if (vin < 0) continue;
+      // Only multiples of up_ carry input samples (zero stuffing).
+      if (vin % static_cast<std::ptrdiff_t>(up_) != 0) continue;
+      const std::ptrdiff_t src = vin / static_cast<std::ptrdiff_t>(up_);
+      if (src >= static_cast<std::ptrdiff_t>(in.size())) continue;
+      acc += taps_[t] * in[static_cast<std::size_t>(src)];
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+Waveform RationalResampler::apply(const Waveform& in) const {
+  std::vector<double> re(in.samples.size()), im(in.samples.size());
+  for (std::size_t i = 0; i < in.samples.size(); ++i) {
+    re[i] = in.samples[i].real();
+    im[i] = in.samples[i].imag();
+  }
+  const auto re_out = apply(re);
+  const auto im_out = apply(im);
+  Waveform out;
+  out.sample_rate_hz =
+      in.sample_rate_hz * static_cast<double>(up_) / static_cast<double>(down_);
+  out.samples.resize(re_out.size());
+  for (std::size_t i = 0; i < re_out.size(); ++i) {
+    out.samples[i] = cplx{re_out[i], im_out[i]};
+  }
+  return out;
+}
+
+std::vector<double> fractional_delay(std::span<const double> in,
+                                     double delay_samples) {
+  std::vector<double> out(in.size(), 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double src = static_cast<double>(i) - delay_samples;
+    const auto lo = static_cast<std::ptrdiff_t>(std::floor(src));
+    const double frac = src - std::floor(src);
+    const auto n = static_cast<std::ptrdiff_t>(in.size());
+    const double a =
+        (lo >= 0 && lo < n) ? in[static_cast<std::size_t>(lo)] : 0.0;
+    const double b = (lo + 1 >= 0 && lo + 1 < n)
+                         ? in[static_cast<std::size_t>(lo + 1)]
+                         : 0.0;
+    out[i] = a * (1.0 - frac) + b * frac;
+  }
+  return out;
+}
+
+}  // namespace ivnet

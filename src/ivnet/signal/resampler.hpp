@@ -1,0 +1,53 @@
+// Sample-rate conversion: integer decimation with anti-alias filtering and
+// rational (L/M) polyphase resampling. Used by the receive chain to bring
+// the 800 kHz capture rate down to the backscatter decoder's rate, and by
+// experiments that run the harvester at a decimated envelope rate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ivnet/signal/waveform.hpp"
+
+namespace ivnet {
+
+/// Decimate by `factor` with a windowed-sinc anti-alias low-pass (cutoff at
+/// 0.45 * output Nyquist). factor == 1 returns the input unchanged.
+Waveform decimate(const Waveform& in, std::size_t factor);
+
+/// Real-signal decimation with the same anti-alias filtering.
+std::vector<double> decimate(std::span<const double> in, std::size_t factor,
+                             double sample_rate_hz);
+
+/// Rational resampler: output rate = input rate * up / down.
+///
+/// Classic polyphase structure: conceptually upsample by `up` (zero
+/// stuffing), low-pass at min(pi/up, pi/down), downsample by `down` — but
+/// computed without materializing the upsampled stream.
+class RationalResampler {
+ public:
+  /// @param up, down  Rate ratio (reduced internally by their gcd).
+  /// @param taps_per_phase  Filter sharpness (8-16 typical).
+  RationalResampler(std::size_t up, std::size_t down,
+                    std::size_t taps_per_phase = 12);
+
+  std::size_t up() const { return up_; }
+  std::size_t down() const { return down_; }
+
+  /// Resample a whole buffer (stateless convenience; group delay trimmed).
+  std::vector<double> apply(std::span<const double> in) const;
+  Waveform apply(const Waveform& in) const;
+
+ private:
+  std::size_t up_;
+  std::size_t down_;
+  std::vector<double> taps_;  // prototype low-pass, length up * taps_per_phase
+};
+
+/// Linear-interpolation fractional delay (sub-sample timing alignment for
+/// the backscatter decoder).
+std::vector<double> fractional_delay(std::span<const double> in,
+                                     double delay_samples);
+
+}  // namespace ivnet

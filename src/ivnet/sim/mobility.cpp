@@ -1,0 +1,78 @@
+#include "ivnet/sim/mobility.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "ivnet/cib/baseline.hpp"
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+double MotionModel::displacement_at(double t_s) const {
+  return breathing_amplitude_m * std::sin(kTwoPi * breathing_hz * t_s) +
+         drift_m_per_s * t_s;
+}
+
+double MotionModel::phase_shift_at(double t_s) const {
+  assert(wavelength_m > 0.0);
+  return kTwoPi * displacement_at(t_s) / wavelength_m;
+}
+
+TimeVaryingChannel::TimeVaryingChannel(Channel base, MotionModel motion)
+    : base_(std::move(base)), motion_(motion) {
+  // Each antenna sees the displacement projected onto its own look
+  // direction. The array spans the body, so projections range from "sensor
+  // moving toward me" (+1) to "away" (-1); spread them deterministically
+  // over [-1, 1] so motion decorrelates the antennas' phase drifts — the
+  // differential term that makes stale CSI useless while leaving CIB (which
+  // never had CSI) untouched.
+  angle_factors_.resize(base_.num_tx());
+  for (std::size_t i = 0; i < angle_factors_.size(); ++i) {
+    angle_factors_[i] =
+        -1.0 + 2.0 * static_cast<double>(i) /
+                   std::max<double>(1.0, static_cast<double>(
+                                             angle_factors_.size() - 1));
+  }
+}
+
+Channel TimeVaryingChannel::at_time(double t_s) const {
+  const double common = motion_.phase_shift_at(t_s);
+  auto rays = base_.rays();
+  for (std::size_t tx = 0; tx < rays.size(); ++tx) {
+    for (Ray& ray : rays[tx]) {
+      ray.phase = wrap_phase(ray.phase + common * angle_factors_[tx]);
+    }
+  }
+  return Channel(std::move(rays));
+}
+
+cplx TimeVaryingChannel::gain(std::size_t tx, double freq_offset_hz,
+                              double t_s) const {
+  const double common = motion_.phase_shift_at(t_s);
+  return base_.gain(tx, freq_offset_hz) *
+         std::polar(1.0, common * angle_factors_[tx]);
+}
+
+double stale_mimo_amplitude(const TimeVaryingChannel& channel, double t_s,
+                            double staleness_s, double freq_offset_hz) {
+  cplx sum{0.0, 0.0};
+  for (std::size_t tx = 0; tx < channel.base().num_tx(); ++tx) {
+    const cplx h_now = channel.gain(tx, freq_offset_hz, t_s);
+    const cplx h_est = channel.gain(tx, freq_offset_hz, t_s - staleness_s);
+    const double mag = std::abs(h_est);
+    if (mag <= 0.0) continue;
+    // Precode with the conjugate of the (stale) estimate, unit power.
+    sum += h_now * std::conj(h_est) / mag;
+  }
+  return std::abs(sum);
+}
+
+double cib_peak_amplitude_at(const TimeVaryingChannel& channel, double t_s,
+                             std::span<const double> offsets_hz,
+                             double t_max_s) {
+  const Channel snapshot = channel.at_time(t_s);
+  return cib_peak_amplitude(snapshot, offsets_hz, t_max_s);
+}
+
+}  // namespace ivnet

@@ -1,0 +1,72 @@
+// Time-varying in-vivo channels: breathing and peristaltic motion.
+//
+// Sec. 3.7: "CIB's design is inherently robust to phase changes caused by
+// channel variations, including those caused by multipath, medium
+// homogeneity, and mobility." The flip side is the reason channel-feedback
+// beamforming cannot work here even if the sensor COULD be polled once: by
+// the next second the phases have moved. This module models that motion —
+// millimeter-scale periodic displacement that shifts every path's phase by
+// 2*pi*dd/lambda_tissue per cycle (lambda in tissue is ~4 cm at 915 MHz, so
+// a 5 mm breath swings phases by ~45 degrees) — and provides the stale-CSI
+// beamformer evaluation the X11 ablation uses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/rf/channel.hpp"
+
+namespace ivnet {
+
+/// Periodic displacement of the sensor relative to the array.
+struct MotionModel {
+  double breathing_amplitude_m = 0.004;  ///< peak-to-peak/2 displacement
+  double breathing_hz = 0.25;            ///< ~15 breaths/min
+  double drift_m_per_s = 0.0;            ///< slow net drift (peristalsis)
+  double wavelength_m = 0.04;            ///< lambda in the tissue
+
+  /// Sensor displacement at time t [m].
+  double displacement_at(double t_s) const;
+
+  /// Phase shift every path accrues at time t [rad].
+  double phase_shift_at(double t_s) const;
+};
+
+/// A channel whose ray phases breathe over time.
+class TimeVaryingChannel {
+ public:
+  TimeVaryingChannel(Channel base, MotionModel motion);
+
+  const Channel& base() const { return base_; }
+  const MotionModel& motion() const { return motion_; }
+
+  /// Channel snapshot at time t: every ray's phase advanced by the common
+  /// motion term plus a per-antenna geometric factor (antennas view the
+  /// displacement from slightly different angles).
+  Channel at_time(double t_s) const;
+
+  /// Complex gain of antenna `tx` at offset `f` and time `t`.
+  cplx gain(std::size_t tx, double freq_offset_hz, double t_s) const;
+
+ private:
+  Channel base_;
+  MotionModel motion_;
+  std::vector<double> angle_factors_;  // per-antenna projection of motion
+};
+
+/// Delivered amplitude of a genie MIMO beamformer whose channel estimate is
+/// `staleness_s` old: precoding with conj(h(t - staleness)) against the
+/// true h(t). With staleness 0 this equals the sum of magnitudes; under
+/// motion it decays toward the blind level.
+double stale_mimo_amplitude(const TimeVaryingChannel& channel, double t_s,
+                            double staleness_s, double freq_offset_hz = 0.0);
+
+/// CIB peak amplitude over one period of the plan, evaluated against the
+/// channel snapshot at time t (CIB needs no estimate, so staleness is
+/// meaningless for it — the point of the comparison).
+double cib_peak_amplitude_at(const TimeVaryingChannel& channel, double t_s,
+                             std::span<const double> offsets_hz,
+                             double t_max_s = 1.0);
+
+}  // namespace ivnet

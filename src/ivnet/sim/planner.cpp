@@ -1,0 +1,139 @@
+#include "ivnet/sim/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ivnet/cib/baseline.hpp"
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/common/units.hpp"
+#include "ivnet/harvester/harvester.hpp"
+#include "ivnet/sim/calibration.hpp"
+
+namespace ivnet {
+namespace {
+
+/// Fraction of blind-channel draws in which the CIB peak voltage clears the
+/// tag's threshold.
+double power_up_probability(const Scenario& scenario, const TagConfig& tag,
+                            const FrequencyPlan& plan, std::size_t trials,
+                            Rng& rng) {
+  const TagDevice device(tag);
+  const double threshold = device.min_peak_voltage();
+  const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
+  std::size_t ok = 0;
+  for (std::size_t k = 0; k < trials; ++k) {
+    const Channel channel = draw_scenario_channel(
+        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
+    if (cib_peak_amplitude(channel, plan.offsets_hz(), t_max) >= threshold) {
+      ++ok;
+    }
+  }
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+/// Median energy the tag banks over one CIB period.
+double median_energy_per_period(const Scenario& scenario, const TagConfig& tag,
+                                const FrequencyPlan& plan, std::size_t trials,
+                                Rng& rng) {
+  const Harvester harvester(tag.harvester);
+  std::vector<double> energies;
+  energies.reserve(trials);
+  for (std::size_t k = 0; k < trials; ++k) {
+    const Channel channel = draw_scenario_channel(
+        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
+    std::vector<double> amps(plan.num_antennas());
+    std::vector<double> phases(plan.num_antennas());
+    for (std::size_t i = 0; i < plan.num_antennas(); ++i) {
+      const cplx h = channel.gain(i, plan.offsets_hz()[i]);
+      amps[i] = std::abs(h);
+      phases[i] = std::arg(h);
+    }
+    auto env = cib_envelope(plan.offsets_hz(), phases, amps, 1.0, 10000);
+    energies.push_back(harvester.run(env, 10e3).harvested_energy_j);
+  }
+  return median(energies);
+}
+
+}  // namespace
+
+DeploymentPlan plan_deployment(const Scenario& scenario, const TagConfig& tag,
+                               const DeploymentRequirements& req, Rng& rng) {
+  DeploymentPlan result;
+  const auto full_plan = FrequencyPlan::paper_default();
+  constexpr std::size_t kTrials = 25;
+
+  const std::size_t limit =
+      std::min<std::size_t>(req.max_antennas, full_plan.num_antennas());
+  for (std::size_t n = 1; n <= limit; ++n) {
+    const auto plan = full_plan.truncated(n);
+    const double p = power_up_probability(scenario, tag, plan, kTrials, rng);
+    if (p < req.min_power_up_probability) continue;
+
+    result.antennas = n;
+    result.plan = plan;
+    result.power_up_probability = p;
+    result.energy_per_period_j =
+        median_energy_per_period(scenario, tag, plan, kTrials, rng);
+
+    // Cadence: one read costs burst_energy; periods needed per read.
+    if (result.energy_per_period_j <= 0.0) continue;
+    const double periods_per_read =
+        std::max(1.0, std::ceil(req.burst_energy_j /
+                                result.energy_per_period_j));
+    result.charge_periods_per_read =
+        static_cast<std::size_t>(periods_per_read);
+    const double period_s =
+        plan.period_s() > 0.0 ? plan.period_s() : 1.0;
+    result.expected_reads_per_minute =
+        60.0 / (periods_per_read * period_s);
+    if (result.expected_reads_per_minute < req.min_reads_per_minute) {
+      result.limiting_factor =
+          "cadence: harvested energy per period too low for the required "
+          "reads/minute";
+      continue;
+    }
+
+    result.exposure = assess_exposure(
+        n, dbm_to_watts(calib::kTxPowerDbm), calib::kTxGainDbi,
+        req.skin_distance_m, media::skin(), plan.center_hz(),
+        req.tx_duty_cycle);
+    if (!result.exposure.mpe_ok || !result.exposure.sar_ok) {
+      result.limiting_factor = "exposure: MPE/SAR limit at this distance";
+      continue;
+    }
+
+    result.feasible = true;
+    result.limiting_factor.clear();
+    return result;
+  }
+
+  if (result.limiting_factor.empty()) {
+    result.limiting_factor =
+        "power-up: the tag cannot be powered at this depth within the "
+        "antenna budget";
+  }
+  result.feasible = false;
+  return result;
+}
+
+std::string describe(const DeploymentPlan& plan) {
+  char buf[512];
+  if (!plan.feasible) {
+    std::snprintf(buf, sizeof(buf), "infeasible (%s)",
+                  plan.limiting_factor.c_str());
+    return buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu antennas; power-up %.0f%%; %.2g J/period banked; one read per "
+      "%zu period(s) (~%.1f reads/min); exposure: MPE %s, SAR %s, EIRP %s",
+      plan.antennas, 100.0 * plan.power_up_probability,
+      plan.energy_per_period_j, plan.charge_periods_per_read,
+      plan.expected_reads_per_minute, plan.exposure.mpe_ok ? "ok" : "OVER",
+      plan.exposure.sar_ok ? "ok" : "OVER",
+      plan.exposure.eirp_ok ? "ok" : "over-cap");
+  return buf;
+}
+
+}  // namespace ivnet

@@ -1,0 +1,49 @@
+// Deployment planner: the "how do I deploy IVN for my sensor?" API a
+// downstream user calls first. Given the scenario (where the implant sits),
+// the tag model, and the application's requirements, it sizes the system:
+// how many antennas, what frequency plan, what duty cycle, what read
+// cadence to expect — and whether the result is both feasible and
+// RF-exposure compliant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/sim/experiment.hpp"
+#include "ivnet/sim/safety.hpp"
+
+namespace ivnet {
+
+/// What the application needs.
+struct DeploymentRequirements {
+  double min_power_up_probability = 0.8;  ///< per-period power-up success
+  double burst_energy_j = 3e-6;           ///< energy one read costs the tag
+  double min_reads_per_minute = 1.0;      ///< required telemetry cadence
+  std::size_t max_antennas = 10;          ///< hardware budget
+  double tx_duty_cycle = 0.1;             ///< for compliance assessment
+  double skin_distance_m = 0.5;           ///< nearest bystander/patient skin
+};
+
+/// The sized deployment.
+struct DeploymentPlan {
+  bool feasible = false;
+  std::string limiting_factor;  ///< human-readable reason if infeasible
+  std::size_t antennas = 0;     ///< smallest count meeting the requirement
+  FrequencyPlan plan = FrequencyPlan::paper_default();
+  double power_up_probability = 0.0;  ///< at the chosen antenna count
+  double energy_per_period_j = 0.0;   ///< median banked energy per period
+  double expected_reads_per_minute = 0.0;
+  std::size_t charge_periods_per_read = 0;
+  ExposureReport exposure;     ///< compliance at the chosen count
+};
+
+/// Size a deployment for `scenario`/`tag` under `req`. Monte-Carlo based;
+/// deterministic for a given `rng` seed.
+DeploymentPlan plan_deployment(const Scenario& scenario, const TagConfig& tag,
+                               const DeploymentRequirements& req, Rng& rng);
+
+/// Pretty one-paragraph summary for logs/CLI.
+std::string describe(const DeploymentPlan& plan);
+
+}  // namespace ivnet

@@ -1,0 +1,83 @@
+#include "ivnet/sim/safety.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+ExposureLimits fcc_limits(double freq_hz) {
+  ExposureLimits limits;
+  const double f_mhz = freq_hz / 1e6;
+  double mpe_mw_per_cm2;
+  if (f_mhz < 300.0) {
+    mpe_mw_per_cm2 = 0.2;
+  } else if (f_mhz <= 1500.0) {
+    mpe_mw_per_cm2 = f_mhz / 1500.0;
+  } else {
+    mpe_mw_per_cm2 = 1.0;
+  }
+  limits.mpe_w_per_m2 = mpe_mw_per_cm2 * 10.0;  // mW/cm^2 -> W/m^2
+  return limits;
+}
+
+ExposureReport assess_exposure(std::size_t num_antennas,
+                               double per_antenna_power_w, double tx_gain_dbi,
+                               double skin_distance_m, const Medium& tissue,
+                               double freq_hz, double tx_duty_cycle) {
+  assert(num_antennas >= 1 && skin_distance_m > 0.0);
+  const auto limits = fcc_limits(freq_hz);
+  const double gain = from_db(tx_gain_dbi);
+  const auto n = static_cast<double>(num_antennas);
+
+  ExposureReport report;
+  // Incoherent time average: the N carriers' cross terms integrate to zero
+  // over a period, leaving N times one antenna's density.
+  const double single_density = per_antenna_power_w * gain /
+                                (4.0 * kPi * skin_distance_m *
+                                 skin_distance_m);
+  report.avg_density_w_per_m2 = n * single_density * tx_duty_cycle;
+  // During an alignment spike the fields add in voltage: N^2 the density,
+  // but only for `peak_duty` of the period (already reflected in the
+  // average above; reported for peak-exposure review).
+  report.peak_density_w_per_m2 = n * n * single_density;
+
+  // Surface SAR from the time-averaged transmitted field:
+  //   S_tissue = S_incident * T;  |E_peak|^2 = 2 * eta_tissue * S_tissue;
+  //   SAR = sigma * E_rms^2 / rho = sigma * |E_peak|^2 / (2 * rho).
+  constexpr double kTissueDensity = 1000.0;  // kg/m^3
+  const double transmitted =
+      report.avg_density_w_per_m2 *
+      boundary_power_transmittance(media::air(), tissue, freq_hz);
+  const double e_peak_sq =
+      2.0 * std::abs(tissue.impedance(freq_hz)) * transmitted;
+  report.surface_sar_w_per_kg =
+      tissue.sigma() * e_peak_sq / (2.0 * kTissueDensity);
+
+  report.eirp_dbm = watts_to_dbm(per_antenna_power_w * gain);
+
+  report.mpe_ok = report.avg_density_w_per_m2 <= limits.mpe_w_per_m2;
+  report.sar_ok = report.surface_sar_w_per_kg <= limits.sar_limit_w_per_kg;
+  report.eirp_ok = report.eirp_dbm <= limits.eirp_limit_dbm;
+  return report;
+}
+
+double max_compliant_power_w(std::size_t num_antennas, double tx_gain_dbi,
+                             double skin_distance_m, double freq_hz,
+                             double tx_duty_cycle) {
+  assert(num_antennas >= 1);
+  const auto limits = fcc_limits(freq_hz);
+  const double gain = from_db(tx_gain_dbi);
+  const double denom = static_cast<double>(num_antennas) * gain *
+                       tx_duty_cycle /
+                       (4.0 * kPi * skin_distance_m * skin_distance_m);
+  if (denom <= 0.0) return 0.0;
+  const double mpe_bound = limits.mpe_w_per_m2 / denom;
+  // Also respect the EIRP ceiling.
+  const double eirp_bound = dbm_to_watts(limits.eirp_limit_dbm) / gain;
+  return std::min(mpe_bound, eirp_bound);
+}
+
+}  // namespace ivnet

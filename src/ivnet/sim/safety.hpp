@@ -1,0 +1,62 @@
+// RF exposure and regulatory compliance checks.
+//
+// The paper leans on two safety arguments: boosting transmit power "neither
+// scales well nor is safe for human exposure" (Sec. 1, refs [40, 57]), and
+// CIB's "intrinsic duty-cycled operation makes it FCC compliant and safe for
+// human exposure" (Sec. 7). This module quantifies both: FCC Part 15.247
+// EIRP limits, the FCC/IEEE maximum-permissible-exposure (MPE) power
+// density at 915 MHz, and a surface SAR estimate
+//   SAR = sigma * |E_rms|^2 / rho
+// for the tissue actually illuminated.
+#pragma once
+
+#include "ivnet/media/medium.hpp"
+
+namespace ivnet {
+
+/// Regulatory limits at a given carrier frequency.
+struct ExposureLimits {
+  /// FCC MPE for the general population [W/m^2], f/1500 mW/cm^2 in
+  /// 300-1500 MHz (6.1 W/m^2 at 915 MHz), averaged over 30 minutes.
+  double mpe_w_per_m2 = 0.0;
+  /// FCC localized SAR limit (1 g average) [W/kg].
+  double sar_limit_w_per_kg = 1.6;
+  /// FCC Part 15.247 EIRP ceiling for frequency-hopping/digital systems in
+  /// the 902-928 MHz ISM band [dBm]: 30 dBm conducted + 6 dBi antenna.
+  double eirp_limit_dbm = 36.0;
+};
+
+/// Limits applicable at `freq_hz` (general-population/uncontrolled tier).
+ExposureLimits fcc_limits(double freq_hz);
+
+/// One exposure assessment.
+struct ExposureReport {
+  double avg_density_w_per_m2 = 0.0;   ///< time-averaged at the skin
+  double peak_density_w_per_m2 = 0.0;  ///< during a CIB alignment spike
+  double surface_sar_w_per_kg = 0.0;   ///< from the time-averaged field
+  double eirp_dbm = 0.0;               ///< per-antenna EIRP
+  bool mpe_ok = false;
+  bool sar_ok = false;
+  bool eirp_ok = false;
+  bool compliant() const { return mpe_ok && sar_ok && eirp_ok; }
+};
+
+/// Assess an N-antenna CIB transmitter illuminating skin at `skin_distance_m`.
+///
+/// Key physics: the TIME-AVERAGED density from N incoherent carriers is
+/// N * P * G / (4 pi r^2) — the N^2 alignment peaks are brief (duty-cycled
+/// by design, Sec. 3.4), so regulatory 30-minute averages see only the
+/// linear term; the instantaneous peak density is reported separately.
+ExposureReport assess_exposure(std::size_t num_antennas,
+                               double per_antenna_power_w, double tx_gain_dbi,
+                               double skin_distance_m, const Medium& tissue,
+                               double freq_hz, double tx_duty_cycle = 1.0);
+
+/// Largest per-antenna power [W] that keeps the time-averaged density under
+/// the MPE at the given geometry (the "how much can we legally transmit"
+/// question behind the range results).
+double max_compliant_power_w(std::size_t num_antennas, double tx_gain_dbi,
+                             double skin_distance_m, double freq_hz,
+                             double tx_duty_cycle = 1.0);
+
+}  // namespace ivnet

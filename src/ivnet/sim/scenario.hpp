@@ -1,0 +1,48 @@
+// Physical experiment scenarios: the water tank (Fig. 7), the line-of-sight
+// corridor (Fig. 8), medium blocks (Fig. 11), and the swine placements
+// (Fig. 14). A Scenario fixes the geometry and media; experiment.hpp draws
+// blind channels from it.
+#pragma once
+
+#include <string>
+
+#include "ivnet/media/layered.hpp"
+#include "ivnet/rf/antenna.hpp"
+#include "ivnet/rf/propagation.hpp"
+
+namespace ivnet {
+
+/// One measurement geometry.
+struct Scenario {
+  std::string name;
+  LayeredMedium stack{media::air()};  ///< media after the air path
+  double air_distance_m = 1.0;        ///< transmitter to first boundary
+  double depth_m = 0.0;               ///< into the stack (0 = in air)
+  double orientation_rad = 0.0;       ///< sensor misalignment
+  Antenna tx_antenna = antennas::mt242025();
+  /// Multipath richness: 1 = pure line-of-sight (the Fig. 8 corridor),
+  /// ~8 = rays reflecting off tank walls / organs (Sec. 3.1).
+  std::size_t multipath_rays = 8;
+  double delay_spread_s = 60e-9;
+};
+
+/// Line-of-sight air link at `distance_m` (Fig. 8 corridor).
+Scenario air_scenario(double distance_m);
+
+/// Tag at `depth_m` inside the water tank, transmitter `standoff_m` from the
+/// tank wall. The tag sits in its test tube: an air pocket terminates the
+/// stack, so the tag antenna operates in air (Sec. 5(c)).
+Scenario water_tank_scenario(double depth_m, double standoff_m);
+
+/// Tag at `depth_m` inside a block of `medium` (steak/bacon/chicken/fluids).
+Scenario medium_block_scenario(const Medium& medium, double depth_m,
+                               double standoff_m);
+
+/// Swine gastric placement: abdominal layers, tag in a falcon tube inside
+/// the stomach. `extra_depth_m` models placement variation.
+Scenario swine_gastric_scenario(double standoff_m, double extra_depth_m = 0.0);
+
+/// Swine subcutaneous placement (under the skin).
+Scenario swine_subcutaneous_scenario(double standoff_m);
+
+}  // namespace ivnet

@@ -1,0 +1,79 @@
+#include "ivnet/tag/actuator.hpp"
+
+#include <algorithm>
+
+namespace ivnet {
+namespace {
+
+std::size_t word(ActuatorWord w) { return static_cast<std::size_t>(w); }
+
+}  // namespace
+
+DrugDeliveryActuator::DrugDeliveryActuator(ActuatorConfig config)
+    : config_(config),
+      reservoir_(config.energy_per_tenth_ul_j, config.leakage_w) {}
+
+double DrugDeliveryActuator::reservoir_j() const {
+  return reservoir_.stored_j();
+}
+
+void DrugDeliveryActuator::publish(gen2::TagMemory& memory) {
+  memory.write(gen2::MemBank::kUser, word(ActuatorWord::kDoseCount),
+               dose_count_);
+  memory.write(gen2::MemBank::kUser, word(ActuatorWord::kTotalDelivered),
+               static_cast<std::uint16_t>(
+                   std::min<std::uint32_t>(total_tenths_, 0xFFFF)));
+  memory.write(gen2::MemBank::kUser, word(ActuatorWord::kStatus),
+               static_cast<std::uint16_t>(status_));
+}
+
+bool DrugDeliveryActuator::step(double dt_s, double harvested_w,
+                                gen2::TagMemory& memory) {
+  now_s_ += dt_s;
+
+  // Pick up a new request from the command word.
+  const auto request =
+      memory.read(gen2::MemBank::kUser, word(ActuatorWord::kDoseRequest));
+  if (pending_tenths_ == 0 && request && *request > 0) {
+    if (now_s_ - last_dose_s_ < config_.min_interval_s) {
+      status_ = ActuatorStatus::kRateLimited;
+      memory.write(gen2::MemBank::kUser, word(ActuatorWord::kDoseRequest), 0);
+    } else if (total_tenths_ + *request > config_.max_total_tenths) {
+      status_ = ActuatorStatus::kLimitReached;
+      memory.write(gen2::MemBank::kUser, word(ActuatorWord::kDoseRequest), 0);
+    } else {
+      pending_tenths_ = *request;
+      status_ = ActuatorStatus::kCharging;
+    }
+  }
+
+  bool delivered = false;
+  if (pending_tenths_ > 0) {
+    // Bank energy; each completed "task" pumps 0.1 uL.
+    const int pumped = reservoir_.step(harvested_w, dt_s);
+    if (pumped > 0) {
+      const auto done = static_cast<std::uint16_t>(
+          std::min<int>(pumped, pending_tenths_));
+      pending_tenths_ = static_cast<std::uint16_t>(pending_tenths_ - done);
+      total_tenths_ += done;
+      if (pending_tenths_ == 0) {
+        ++dose_count_;
+        last_dose_s_ = now_s_;
+        status_ = ActuatorStatus::kDelivered;
+        memory.write(gen2::MemBank::kUser, word(ActuatorWord::kDoseRequest),
+                     0);
+        delivered = true;
+      }
+    }
+  } else {
+    if (status_ == ActuatorStatus::kCharging) status_ = ActuatorStatus::kIdle;
+    // Idle: harvested power feeds the chip, not the pump; the reservoir
+    // only leaks.
+    reservoir_.step(0.0, dt_s);
+  }
+
+  publish(memory);
+  return delivered;
+}
+
+}  // namespace ivnet

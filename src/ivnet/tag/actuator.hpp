@@ -1,0 +1,77 @@
+// Bioactuator: the paper's second device class (Sec. 1 — devices "swallowed
+// or injected into the human body and used for ... delivering drugs").
+//
+// A drug-delivery actuator is a tag whose USER memory exposes a command
+// word: the reader Writes a dose request; the actuator executes it when —
+// and only when — the harvester has banked the actuation energy (pumping
+// costs orders of magnitude more than telemetry). Dosing is rate-limited
+// and totalized for safety, and every state transition is reflected back
+// into memory so the reader can audit it with an ordinary Read.
+//
+// USER-bank layout (extends tag/sensor.hpp's words 0-3):
+//   word 4: dose request, 0.1 uL units (write by reader; 0 = none)
+//   word 5: doses delivered (count)
+//   word 6: total delivered, 0.1 uL units
+//   word 7: status (enum ActuatorStatus)
+#pragma once
+
+#include <cstdint>
+
+#include "ivnet/gen2/memory.hpp"
+#include "ivnet/harvester/energy.hpp"
+
+namespace ivnet {
+
+/// USER-bank addresses of the actuation interface.
+enum class ActuatorWord : std::uint8_t {
+  kDoseRequest = 4,
+  kDoseCount = 5,
+  kTotalDelivered = 6,
+  kStatus = 7,
+};
+
+/// Value of the status word.
+enum class ActuatorStatus : std::uint16_t {
+  kIdle = 0,
+  kCharging = 1,    ///< request pending, banking energy
+  kDelivered = 2,   ///< last request completed
+  kRateLimited = 3, ///< refused: minimum interval not elapsed
+  kLimitReached = 4 ///< refused: total dose budget exhausted
+};
+
+struct ActuatorConfig {
+  double energy_per_tenth_ul_j = 5e-5;  ///< pump energy per 0.1 uL
+  double min_interval_s = 60.0;         ///< safety: min time between doses
+  std::uint32_t max_total_tenths = 500; ///< lifetime budget (50 uL)
+  double leakage_w = 1e-8;              ///< standby drain on the reservoir
+};
+
+/// Drug-delivery actuator bound to a tag's memory.
+class DrugDeliveryActuator {
+ public:
+  explicit DrugDeliveryActuator(ActuatorConfig config);
+
+  /// Advance time by `dt_s` with `harvested_w` of rail power available, and
+  /// act on any dose request present in `memory`. Returns true if a dose
+  /// completed during this step.
+  bool step(double dt_s, double harvested_w, gen2::TagMemory& memory);
+
+  ActuatorStatus status() const { return status_; }
+  std::uint16_t doses_delivered() const { return dose_count_; }
+  std::uint32_t total_delivered_tenths() const { return total_tenths_; }
+  double reservoir_j() const;
+
+ private:
+  void publish(gen2::TagMemory& memory);
+
+  ActuatorConfig config_;
+  EnergyAccumulator reservoir_;
+  ActuatorStatus status_ = ActuatorStatus::kIdle;
+  std::uint16_t dose_count_ = 0;
+  std::uint32_t total_tenths_ = 0;
+  double now_s_ = 0.0;
+  double last_dose_s_ = -1e18;
+  std::uint16_t pending_tenths_ = 0;
+};
+
+}  // namespace ivnet

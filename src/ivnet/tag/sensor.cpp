@@ -1,0 +1,84 @@
+#include "ivnet/tag/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ivnet/common/units.hpp"
+
+namespace ivnet {
+
+double VitalSignModel::value_at(double t_s, Rng& rng) const {
+  return baseline + drift_per_s * t_s +
+         breathing_amp * std::sin(kTwoPi * breathing_hz * t_s) +
+         rng.normal(0.0, noise_sigma);
+}
+
+GastricSensor::GastricSensor(std::uint64_t seed) : rng_(seed) {
+  temperature_model = VitalSignModel{
+      .baseline = 38.6,  // porcine core temperature [C]
+      .drift_per_s = 0.0,
+      .noise_sigma = 0.02,
+      .breathing_amp = 0.05,
+      .breathing_hz = 0.25,
+  };
+  ph_model = VitalSignModel{
+      .baseline = 2.2,  // fasted gastric pH
+      .drift_per_s = 0.0,
+      .noise_sigma = 0.03,
+      .breathing_amp = 0.0,
+  };
+  pressure_model = VitalSignModel{
+      .baseline = 8.0,  // intragastric pressure [mmHg]
+      .drift_per_s = 0.0,
+      .noise_sigma = 0.4,
+      .breathing_amp = 2.0,  // respiratory pressure swing
+      .breathing_hz = 0.25,
+  };
+}
+
+std::uint16_t GastricSensor::encode_temperature(double celsius) {
+  const double clamped = std::clamp(celsius, 0.0, 65.0);
+  return static_cast<std::uint16_t>(std::lround(clamped * 100.0));
+}
+
+double GastricSensor::decode_temperature(std::uint16_t word) {
+  return static_cast<double>(word) / 100.0;
+}
+
+std::uint16_t GastricSensor::encode_ph(double ph) {
+  const double clamped = std::clamp(ph, 0.0, 14.0);
+  return static_cast<std::uint16_t>(std::lround(clamped * 100.0));
+}
+
+double GastricSensor::decode_ph(std::uint16_t word) {
+  return static_cast<double>(word) / 100.0;
+}
+
+std::uint16_t GastricSensor::encode_pressure(double mmhg) {
+  const double clamped = std::clamp(mmhg, 0.0, 400.0);
+  return static_cast<std::uint16_t>(std::lround(clamped * 10.0));
+}
+
+double GastricSensor::decode_pressure(std::uint16_t word) {
+  return static_cast<double>(word) / 10.0;
+}
+
+bool GastricSensor::publish(double t_s, gen2::TagMemory& memory) {
+  using gen2::MemBank;
+  const bool ok =
+      memory.write(MemBank::kUser,
+                   static_cast<std::size_t>(SensorWord::kTemperature),
+                   encode_temperature(temperature_model.value_at(t_s, rng_))) &&
+      memory.write(MemBank::kUser, static_cast<std::size_t>(SensorWord::kPh),
+                   encode_ph(ph_model.value_at(t_s, rng_))) &&
+      memory.write(MemBank::kUser,
+                   static_cast<std::size_t>(SensorWord::kPressure),
+                   encode_pressure(pressure_model.value_at(t_s, rng_)));
+  if (!ok) return false;
+  ++counter_;
+  return memory.write(MemBank::kUser,
+                      static_cast<std::size_t>(SensorWord::kCounter),
+                      counter_);
+}
+
+}  // namespace ivnet

@@ -1,0 +1,70 @@
+// In-vivo sensor front ends that publish measurements into the tag's USER
+// memory bank — the payloads the paper's applications fetch: "monitoring
+// internal human vital signs" and gastric physiologic status (Sec. 1,
+// ref [61]).
+//
+// Word layout in USER memory (one word = 16 bits):
+//   word 0: core temperature, centi-kelvin above 273.15 K (37.0 C -> 3700)
+//   word 1: pH x 100                       (gastric ~1.5-3.5 -> 150-350)
+//   word 2: pressure, 0.1 mmHg units
+//   word 3: monotonically increasing sample counter
+#pragma once
+
+#include <cstdint>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/gen2/memory.hpp"
+
+namespace ivnet {
+
+/// USER-bank word addresses of the published quantities.
+enum class SensorWord : std::uint8_t {
+  kTemperature = 0,
+  kPh = 1,
+  kPressure = 2,
+  kCounter = 3,
+};
+
+/// A slowly-varying physiological signal generator.
+struct VitalSignModel {
+  double baseline = 0.0;      ///< mean value (physical units)
+  double drift_per_s = 0.0;   ///< slow deterministic drift
+  double noise_sigma = 0.0;   ///< per-sample measurement noise
+  double breathing_amp = 0.0; ///< respiratory modulation amplitude
+  double breathing_hz = 0.2;  ///< ~12 breaths/min
+
+  /// Signal value at time t.
+  double value_at(double t_s, Rng& rng) const;
+};
+
+/// A gastric physiologic sensor (temperature, pH, pressure) publishing into
+/// a TagMemory.
+class GastricSensor {
+ public:
+  /// Default models for a resting large mammal.
+  explicit GastricSensor(std::uint64_t seed);
+
+  /// Sample all channels at time `t_s` and write them into `memory`'s USER
+  /// bank. Returns false if USER memory is locked/too small.
+  bool publish(double t_s, gen2::TagMemory& memory);
+
+  /// Encodings used by publish (exposed for the reader side).
+  static std::uint16_t encode_temperature(double celsius);
+  static double decode_temperature(std::uint16_t word);
+  static std::uint16_t encode_ph(double ph);
+  static double decode_ph(std::uint16_t word);
+  static std::uint16_t encode_pressure(double mmhg);
+  static double decode_pressure(std::uint16_t word);
+
+  std::uint16_t samples_published() const { return counter_; }
+
+  VitalSignModel temperature_model;
+  VitalSignModel ph_model;
+  VitalSignModel pressure_model;
+
+ private:
+  Rng rng_;
+  std::uint16_t counter_ = 0;
+};
+
+}  // namespace ivnet

@@ -1,0 +1,144 @@
+// Tests for ivnet/tag/actuator: the drug-delivery bioactuator — energy
+// gating, rate limiting, lifetime budget, and the memory-mapped interface
+// the reader drives with ordinary Write/Read commands.
+#include <gtest/gtest.h>
+
+#include "ivnet/tag/actuator.hpp"
+
+namespace ivnet {
+namespace {
+
+using gen2::MemBank;
+using gen2::TagMemory;
+
+std::size_t word(ActuatorWord w) { return static_cast<std::size_t>(w); }
+
+ActuatorConfig fast_config() {
+  ActuatorConfig cfg;
+  cfg.energy_per_tenth_ul_j = 1e-6;
+  cfg.min_interval_s = 10.0;
+  cfg.max_total_tenths = 30;
+  cfg.leakage_w = 0.0;
+  return cfg;
+}
+
+TEST(Actuator, IdleUntilRequested) {
+  TagMemory mem;
+  DrugDeliveryActuator act(fast_config());
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_FALSE(act.step(1.0, 1e-5, mem));
+  }
+  EXPECT_EQ(act.status(), ActuatorStatus::kIdle);
+  EXPECT_EQ(mem.read(MemBank::kUser, word(ActuatorWord::kStatus)).value(),
+            static_cast<std::uint16_t>(ActuatorStatus::kIdle));
+  EXPECT_EQ(act.doses_delivered(), 0);
+}
+
+TEST(Actuator, DeliversOnceEnergyBanked) {
+  TagMemory mem;
+  DrugDeliveryActuator act(fast_config());
+  // Request 5 x 0.1 uL = 5 uJ at 1 uJ per tenth.
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 5);
+  // 1 uW harvest: needs 5 seconds to bank 5 uJ.
+  bool delivered = false;
+  int steps = 0;
+  while (!delivered && steps < 20) {
+    delivered = act.step(1.0, 1e-6, mem);
+    ++steps;
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_NEAR(steps, 5, 2);
+  EXPECT_EQ(act.status(), ActuatorStatus::kDelivered);
+  EXPECT_EQ(act.doses_delivered(), 1);
+  EXPECT_EQ(act.total_delivered_tenths(), 5u);
+  // The request word was cleared and the audit words published.
+  EXPECT_EQ(mem.read(MemBank::kUser, word(ActuatorWord::kDoseRequest)).value(),
+            0u);
+  EXPECT_EQ(mem.read(MemBank::kUser, word(ActuatorWord::kDoseCount)).value(),
+            1u);
+  EXPECT_EQ(
+      mem.read(MemBank::kUser, word(ActuatorWord::kTotalDelivered)).value(),
+      5u);
+}
+
+TEST(Actuator, ChargingStatusVisibleWhilePending) {
+  TagMemory mem;
+  DrugDeliveryActuator act(fast_config());
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 10);
+  act.step(1.0, 1e-7, mem);  // far too little energy
+  EXPECT_EQ(act.status(), ActuatorStatus::kCharging);
+  EXPECT_EQ(mem.read(MemBank::kUser, word(ActuatorWord::kStatus)).value(),
+            static_cast<std::uint16_t>(ActuatorStatus::kCharging));
+}
+
+TEST(Actuator, RateLimitEnforced) {
+  TagMemory mem;
+  DrugDeliveryActuator act(fast_config());  // min interval 10 s
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 1);
+  while (!act.step(1.0, 1e-5, mem)) {
+  }
+  EXPECT_EQ(act.doses_delivered(), 1);
+  // Immediate second request: refused.
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 1);
+  act.step(1.0, 1e-5, mem);
+  EXPECT_EQ(act.status(), ActuatorStatus::kRateLimited);
+  EXPECT_EQ(act.doses_delivered(), 1);
+  // After the interval elapses it works again.
+  for (int k = 0; k < 12; ++k) act.step(1.0, 0.0, mem);
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 1);
+  bool delivered = false;
+  for (int k = 0; k < 10 && !delivered; ++k) {
+    delivered = act.step(1.0, 1e-5, mem);
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(act.doses_delivered(), 2);
+}
+
+TEST(Actuator, LifetimeBudgetEnforced) {
+  TagMemory mem;
+  ActuatorConfig cfg = fast_config();
+  cfg.max_total_tenths = 8;
+  cfg.min_interval_s = 0.0;
+  DrugDeliveryActuator act(cfg);
+  // First 8 tenths fit.
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 8);
+  bool delivered = false;
+  for (int k = 0; k < 20 && !delivered; ++k) {
+    delivered = act.step(1.0, 1e-5, mem);
+  }
+  ASSERT_TRUE(delivered);
+  // One more tenth exceeds the budget.
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 1);
+  act.step(1.0, 1e-5, mem);
+  EXPECT_EQ(act.status(), ActuatorStatus::kLimitReached);
+  EXPECT_EQ(act.total_delivered_tenths(), 8u);
+}
+
+TEST(Actuator, NoEnergyNoDose) {
+  TagMemory mem;
+  DrugDeliveryActuator act(fast_config());
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 3);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(act.step(1.0, 0.0, mem));
+  }
+  EXPECT_EQ(act.doses_delivered(), 0);
+  EXPECT_EQ(act.status(), ActuatorStatus::kCharging);
+}
+
+TEST(Actuator, LeakageSlowsCharging) {
+  TagMemory mem;
+  ActuatorConfig leaky = fast_config();
+  leaky.leakage_w = 0.5e-6;  // half the harvest leaks away
+  DrugDeliveryActuator slow(leaky);
+  DrugDeliveryActuator fast(fast_config());
+  TagMemory mem2;
+  mem.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 5);
+  mem2.write(MemBank::kUser, word(ActuatorWord::kDoseRequest), 5);
+  int slow_steps = 0, fast_steps = 0;
+  while (!slow.step(1.0, 1e-6, mem) && slow_steps < 100) ++slow_steps;
+  while (!fast.step(1.0, 1e-6, mem2) && fast_steps < 100) ++fast_steps;
+  EXPECT_GT(slow_steps, fast_steps);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,229 @@
+// Fuzz/property tests for the Gen2 protocol stack: randomized round-trips
+// across air-interface parameters, corruption detection, decoder robustness
+// against garbage, and state-machine safety under random command streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/fm0.hpp"
+#include "ivnet/gen2/memory.hpp"
+#include "ivnet/gen2/miller.hpp"
+#include "ivnet/gen2/pie.hpp"
+#include "ivnet/gen2/tag_sm.hpp"
+
+namespace ivnet::gen2 {
+namespace {
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = rng.uniform() < 0.5;
+  return bits;
+}
+
+// --- PIE round-trips across Tari values (the air interface allows
+// --- 6.25-25 us; the decoder must infer everything from RTcal).
+class PieTariSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PieTariSweep, RandomPayloadsRoundTrip) {
+  PieTiming timing;
+  timing.tari_s = GetParam();
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1e9));
+  for (int k = 0; k < 10; ++k) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    const Bits payload = random_bits(n, rng);
+    const auto env = pie_encode(payload, timing, 1.6e6, k % 2 == 0);
+    const auto decoded = pie_decode(env, 1.6e6);
+    ASSERT_TRUE(decoded.valid) << "tari " << GetParam() << " len " << n;
+    EXPECT_EQ(decoded.bits, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tari, PieTariSweep,
+                         ::testing::Values(6.25e-6, 12.5e-6, 25e-6));
+
+// --- Data-1 length factor sweep (spec allows 1.5-2.0 Tari).
+class PieData1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PieData1Sweep, RoundTripAtAnyLegalFactor) {
+  PieTiming timing;
+  timing.data1_factor = GetParam();
+  Rng rng(77);
+  const Bits payload = random_bits(32, rng);
+  const auto env = pie_encode(payload, timing, 800e3, true);
+  const auto decoded = pie_decode(env, 800e3);
+  ASSERT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.bits, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, PieData1Sweep,
+                         ::testing::Values(1.5, 1.7, 2.0));
+
+// --- Corruption detection: every single-bit flip in a CRC-protected
+// --- command must be rejected.
+TEST(Corruption, QueryCrc5CatchesAllSingleBitFlips) {
+  const auto bits = QueryCommand{.q = 7}.encode();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    Bits corrupted = bits;
+    corrupted[i] = !corrupted[i];
+    const auto parsed = QueryCommand::parse(corrupted);
+    // A flip in the leading command code makes it a different command
+    // (parse fails on the prefix); any other flip must fail the CRC.
+    EXPECT_FALSE(parsed.has_value()) << "flip at " << i;
+  }
+}
+
+TEST(Corruption, ReadCommandCrc16CatchesAllSingleBitFlips) {
+  const auto bits = ReadCommand{.word_addr = 3, .word_count = 2,
+                                .handle = 0x5A5A}
+                        .encode();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    Bits corrupted = bits;
+    corrupted[i] = !corrupted[i];
+    EXPECT_FALSE(ReadCommand::parse(corrupted).has_value()) << i;
+  }
+}
+
+TEST(Corruption, RandomDoubleFlipsCaughtByCrc16) {
+  Rng rng(5);
+  const auto frame = read_reply({0x1234, 0xABCD}, 0x9999);
+  int missed = 0;
+  for (int k = 0; k < 300; ++k) {
+    Bits corrupted = frame;
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    auto j = i;
+    while (j == i) {
+      j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    }
+    corrupted[i] = !corrupted[i];
+    corrupted[j] = !corrupted[j];
+    if (!parse_read_reply(corrupted, 2, 0x9999).empty()) ++missed;
+  }
+  EXPECT_EQ(missed, 0);  // CRC-16 catches all double-bit errors at this size
+}
+
+// --- Decoder robustness: random garbage must never crash and must
+// --- (essentially always) be rejected by the correlation gates.
+TEST(Garbage, Fm0DecoderRejectsNoise) {
+  Rng rng(6);
+  int accepted = 0;
+  for (int k = 0; k < 30; ++k) {
+    std::vector<double> junk(2000 + 100 * k);
+    for (auto& v : junk) v = rng.normal(0.0, 1.0);
+    const auto decoded = fm0_decode(junk, 16, 40e3, 800e3, 0.8);
+    accepted += decoded.valid;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(Garbage, MillerDecoderRejectsNoise) {
+  Rng rng(7);
+  int accepted = 0;
+  for (int k = 0; k < 20; ++k) {
+    std::vector<double> junk(4000);
+    for (auto& v : junk) v = rng.normal(0.0, 1.0);
+    accepted += miller_decode(Miller::kM4, junk, 16, 40e3, 1.6e6, 0.8).valid;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(Garbage, PieDecoderHandlesDegenerateInputs) {
+  // Empty, constant, all-zero, single-edge inputs: no crash, no bogus
+  // acceptance of data bits.
+  const std::vector<double> empty;
+  EXPECT_FALSE(pie_decode(empty, 800e3).valid);
+  const std::vector<double> flat(5000, 1.0);
+  const auto flat_decoded = pie_decode(flat, 800e3);
+  EXPECT_FALSE(flat_decoded.valid && !flat_decoded.bits.empty());
+  const std::vector<double> zeros(5000, 0.0);
+  EXPECT_FALSE(pie_decode(zeros, 800e3).valid);
+  std::vector<double> one_edge(5000, 1.0);
+  for (std::size_t i = 2500; i < 5000; ++i) one_edge[i] = 0.0;
+  const auto edge_decoded = pie_decode(one_edge, 800e3);
+  EXPECT_FALSE(edge_decoded.valid && !edge_decoded.bits.empty());
+}
+
+// --- State-machine safety: arbitrary command streams keep the tag in a
+// --- legal state and never produce malformed frames.
+TEST(StateMachineFuzz, RandomCommandStreamsAreSafe) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    TagStateMachine tag(random_bits(96, rng), 1000 + trial);
+    tag.power_up();
+    for (int step = 0; step < 200; ++step) {
+      Bits command;
+      switch (rng.uniform_int(0, 6)) {
+        case 0:
+          command = QueryCommand{.q = static_cast<std::uint8_t>(
+                                     rng.uniform_int(0, 15))}
+                        .encode();
+          break;
+        case 1:
+          command = QueryRepCommand{}.encode();
+          break;
+        case 2:
+          command = AckCommand{.rn16 = static_cast<std::uint16_t>(
+                                   rng.uniform_int(0, 0xFFFF))}
+                        .encode();
+          break;
+        case 3:
+          command = ReqRnCommand{.rn16 = tag.last_rn16()}.encode();
+          break;
+        case 4:
+          command = ReadCommand{.handle = tag.handle()}.encode();
+          break;
+        case 5:
+          command = random_bits(
+              static_cast<std::size_t>(rng.uniform_int(1, 80)), rng);
+          break;
+        default: {
+          SelectCommand sel;
+          sel.mask = random_bits(8, rng);
+          command = sel.encode();
+          break;
+        }
+      }
+      const auto reply = tag.on_command(command);
+      if (reply.has_value()) {
+        // Every reply the tag emits is one of the legal frame sizes.
+        const auto n = reply->size();
+        const bool legal_size =
+            n == 16 ||                  // RN16
+            n == 128 ||                 // PC + EPC + CRC16
+            n == 32 ||                  // handle reply
+            n == 33 ||                  // read reply, 0 words (n/a) guard
+            (n >= 33 && (n - 33) % 16 == 0);  // read replies
+        EXPECT_TRUE(legal_size) << n;
+      }
+    }
+    // The tag is still in a recognized state.
+    const auto state = tag.state();
+    EXPECT_TRUE(state == TagState::kReady || state == TagState::kArbitrate ||
+                state == TagState::kReply ||
+                state == TagState::kAcknowledged ||
+                state == TagState::kOpen);
+  }
+}
+
+// --- Miller/FM0 round-trips across BLF values.
+class BlfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlfSweep, Fm0RoundTripAtAnyBlf) {
+  const double blf = GetParam();
+  Rng rng(static_cast<std::uint64_t>(blf));
+  const Bits bits = random_bits(16, rng);
+  const double fs = blf * 40.0;  // 20 samples per half-bit
+  const auto sig = fm0_modulate(bits, blf, fs);
+  const auto decoded = fm0_decode(sig, 16, blf, fs);
+  ASSERT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blf, BlfSweep,
+                         ::testing::Values(40e3, 160e3, 320e3, 640e3));
+
+}  // namespace
+}  // namespace ivnet::gen2

@@ -1,0 +1,79 @@
+// Tests for ivnet/common/json: escaping and writer structure.
+#include <gtest/gtest.h>
+
+#include "ivnet/common/json.hpp"
+
+namespace ivnet {
+namespace {
+
+TEST(JsonEscape, PassthroughAndSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("ctl\x01") ), "ctl\\u0001");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "ivn");
+  w.field("antennas", 10);
+  w.field("gain", 85.5);
+  w.field("ok", true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"ivn\",\"antennas\":10,\"gain\":85.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("offsets").begin_array();
+  w.value(0).value(7).value(20);
+  w.end_array();
+  w.key("rows").begin_array();
+  w.begin_object().field("n", 1).end_object();
+  w.begin_object().field("n", 2).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"offsets\":[0,7,20],\"rows\":[{\"n\":1},{\"n\":2}]}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array().value(1.5).value("x").value(false).end_array();
+  EXPECT_EQ(w.str(), "[1.5,\"x\",false]");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::numeric_limits<double>::infinity()).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriter, SizeTValues) {
+  JsonWriter w;
+  w.begin_object().field("count", std::size_t{42}).end_object();
+  EXPECT_EQ(w.str(), "{\"count\":42}");
+}
+
+TEST(JsonWriter, IncompleteIsReported) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,98 @@
+// Tests for ivnet/gen2/link_timing: T1-T4 windows, exchange durations, and
+// the per-command CIB envelope feasibility condition (Eq. 9 inverted).
+#include <gtest/gtest.h>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/link_timing.hpp"
+#include "ivnet/gen2/memory.hpp"
+
+namespace ivnet::gen2 {
+namespace {
+
+TEST(LinkTiming, T1WindowOrdering) {
+  const LinkTiming link;
+  EXPECT_GT(link.t1_min_s(), 0.0);
+  EXPECT_LT(link.t1_min_s(), link.t1_nominal_s());
+  EXPECT_GT(link.t1_max_s(), link.t1_nominal_s());
+  // At BLF 40 kHz the 10/BLF term dominates RTcal: nominal = 250 us.
+  EXPECT_NEAR(link.t1_nominal_s(), 250e-6, 1e-9);
+}
+
+TEST(LinkTiming, T2T4Windows) {
+  const LinkTiming link;
+  EXPECT_NEAR(link.t2_min_s(), 75e-6, 1e-9);
+  EXPECT_NEAR(link.t2_max_s(), 500e-6, 1e-9);
+  EXPECT_NEAR(link.t4_min_s(), 150e-6, 1e-9);
+}
+
+TEST(LinkTiming, Fm0ReplyDuration) {
+  // RN16: 12 preamble + 32 data + 2 dummy half-bits at 80 k half-bits/s.
+  EXPECT_NEAR(fm0_reply_duration_s(16, 40e3), 46.0 / 80e3, 1e-12);
+  // EPC frame (128 bits) takes ~3.4 ms.
+  EXPECT_NEAR(fm0_reply_duration_s(128, 40e3), 270.0 / 80e3, 1e-12);
+}
+
+TEST(LinkTiming, QueryDurationNearPaperDeltaT) {
+  // Sec. 3.6: "for a typical RFID reader's query, delta-t ~ 800 us". Our
+  // default Tari (25 us) with full preamble lands on the same order.
+  const PieTiming pie;
+  const double query =
+      pie_command_duration_s(QueryCommand{}.encode(), pie, true);
+  EXPECT_GT(query, 500e-6);
+  EXPECT_LT(query, 1.5e-3);
+}
+
+TEST(LinkTiming, InventoryExchangeUnderTenMs) {
+  const double total = inventory_exchange_duration_s(PieTiming{}, LinkTiming{});
+  EXPECT_GT(total, 4e-3);   // dominated by the 128-bit EPC reply
+  EXPECT_LT(total, 10e-3);  // still well within one CIB period
+}
+
+TEST(LinkTiming, FlatTopMatchesEq9Inverse) {
+  // Eq. 9 with alpha = 0.5 and RMS 199 Hz gives dt = 800 us.
+  EXPECT_NEAR(peak_flat_top_s(199.0, 0.5), 800e-6, 10e-6);
+  // And the inverse direction reproduces the paper's 199 Hz.
+  EXPECT_NEAR(max_rms_for_command_s(800e-6, 0.5), 199.0, 1.0);
+}
+
+TEST(LinkTiming, PaperPlanQueryFitsItsPeak) {
+  const auto plan = FrequencyPlan::paper_default();
+  EXPECT_TRUE(command_fits_peak(QueryCommand{}.encode(), PieTiming{}, true,
+                                plan.rms_offset_hz()));
+}
+
+TEST(LinkTiming, LongAccessCommandStrainsTheConstraint) {
+  // A 58-bit Read is ~2.3 ms of PIE: it no longer fits the flat top of a
+  // plan sized AT the 199 Hz limit, but still fits the paper's actual
+  // 82 Hz-RMS plan — the Sec. 3.7 "incorporate into the delta-t
+  // constraint" effect, quantified.
+  const auto read_bits = ReadCommand{.word_count = 4}.encode();
+  EXPECT_FALSE(command_fits_peak(read_bits, PieTiming{}, false, 199.0));
+  const auto plan = FrequencyPlan::paper_default();
+  EXPECT_TRUE(
+      command_fits_peak(read_bits, PieTiming{}, false, plan.rms_offset_hz()));
+}
+
+TEST(LinkTiming, FlatTopShrinksWithRms) {
+  EXPECT_GT(peak_flat_top_s(50.0), peak_flat_top_s(100.0));
+  EXPECT_GT(peak_flat_top_s(100.0), peak_flat_top_s(200.0));
+  EXPECT_GT(peak_flat_top_s(0.0), 1e6);  // single tone never droops
+}
+
+// Property: for any command length, the Eq. 9 pair (flat-top, max-RMS) is
+// self-consistent: a command exactly dt long fits a plan at max_rms(dt).
+class Eq9Consistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(Eq9Consistency, InverseFunctionsAgree) {
+  const double dt = GetParam();
+  const double rms = max_rms_for_command_s(dt);
+  EXPECT_NEAR(peak_flat_top_s(rms), dt, dt * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, Eq9Consistency,
+                         ::testing::Values(100e-6, 400e-6, 800e-6, 2e-3,
+                                           5e-3));
+
+}  // namespace
+}  // namespace ivnet::gen2

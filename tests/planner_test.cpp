@@ -1,0 +1,101 @@
+// Tests for ivnet/sim/planner: the deployment-sizing API.
+#include <gtest/gtest.h>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/planner.hpp"
+
+namespace ivnet {
+namespace {
+
+DeploymentRequirements easy_requirements() {
+  DeploymentRequirements req;
+  req.min_power_up_probability = 0.8;
+  req.burst_energy_j = 3e-6;
+  req.min_reads_per_minute = 1.0;
+  req.skin_distance_m = 0.5;
+  req.tx_duty_cycle = 0.1;
+  return req;
+}
+
+TEST(Planner, EasyScenarioNeedsFewAntennas) {
+  Rng rng(1);
+  const auto plan = plan_deployment(air_scenario(2.0), standard_tag(),
+                                    easy_requirements(), rng);
+  ASSERT_TRUE(plan.feasible) << plan.limiting_factor;
+  EXPECT_LE(plan.antennas, 3u);
+  EXPECT_GE(plan.power_up_probability, 0.8);
+  EXPECT_GE(plan.expected_reads_per_minute, 1.0);
+  EXPECT_TRUE(plan.exposure.mpe_ok);
+}
+
+TEST(Planner, DeeperNeedsMoreAntennas) {
+  Rng rng(2);
+  const auto shallow = plan_deployment(
+      water_tank_scenario(0.05, calib::kRangeSetupStandoffM), standard_tag(),
+      easy_requirements(), rng);
+  const auto deep = plan_deployment(
+      water_tank_scenario(0.15, calib::kRangeSetupStandoffM), standard_tag(),
+      easy_requirements(), rng);
+  ASSERT_TRUE(shallow.feasible) << shallow.limiting_factor;
+  ASSERT_TRUE(deep.feasible) << deep.limiting_factor;
+  EXPECT_GT(deep.antennas, shallow.antennas);
+}
+
+TEST(Planner, ImpossibleDepthReportsPowerUpLimit) {
+  Rng rng(3);
+  const auto plan = plan_deployment(
+      water_tank_scenario(0.40, calib::kRangeSetupStandoffM), standard_tag(),
+      easy_requirements(), rng);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.limiting_factor.find("power-up"), std::string::npos);
+}
+
+TEST(Planner, AntennaBudgetRespected) {
+  Rng rng(4);
+  DeploymentRequirements req = easy_requirements();
+  req.max_antennas = 2;
+  const auto plan = plan_deployment(
+      water_tank_scenario(0.15, calib::kRangeSetupStandoffM), standard_tag(),
+      req, rng);
+  EXPECT_FALSE(plan.feasible);  // 0.15 m needs more than 2 antennas
+}
+
+TEST(Planner, MiniatureTagHarderThanStandard) {
+  Rng rng(5);
+  const auto scen = water_tank_scenario(0.05, calib::kRangeSetupStandoffM);
+  const auto std_plan =
+      plan_deployment(scen, standard_tag(), easy_requirements(), rng);
+  const auto mini_plan =
+      plan_deployment(scen, miniature_tag(), easy_requirements(), rng);
+  ASSERT_TRUE(std_plan.feasible) << std_plan.limiting_factor;
+  ASSERT_TRUE(mini_plan.feasible) << mini_plan.limiting_factor;
+  EXPECT_GT(mini_plan.antennas, std_plan.antennas);
+}
+
+TEST(Planner, CadenceRequirementCanBind) {
+  Rng rng(6);
+  DeploymentRequirements req = easy_requirements();
+  req.burst_energy_j = 1e-3;        // absurdly hungry sensor
+  req.min_reads_per_minute = 30.0;  // and a fast cadence
+  const auto plan = plan_deployment(
+      water_tank_scenario(0.12, calib::kRangeSetupStandoffM), standard_tag(),
+      req, rng);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.limiting_factor.find("cadence"), std::string::npos);
+}
+
+TEST(Planner, DescribeMentionsKeyNumbers) {
+  Rng rng(7);
+  const auto plan = plan_deployment(air_scenario(2.0), standard_tag(),
+                                    easy_requirements(), rng);
+  const auto text = describe(plan);
+  EXPECT_NE(text.find("antennas"), std::string::npos);
+  EXPECT_NE(text.find("reads/min"), std::string::npos);
+
+  DeploymentPlan bad;
+  bad.limiting_factor = "power-up: too deep";
+  EXPECT_NE(describe(bad).find("infeasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,108 @@
+// Tests for ivnet/sim/safety: FCC MPE / SAR / EIRP compliance of the CIB
+// transmitter (the Sec. 1 / Sec. 7 safety claims).
+#include <gtest/gtest.h>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/sim/safety.hpp"
+
+namespace ivnet {
+namespace {
+
+TEST(Limits, Mpe915MHz) {
+  // f/1500 mW/cm^2 at 915 MHz -> 0.61 mW/cm^2 = 6.1 W/m^2.
+  const auto limits = fcc_limits(915e6);
+  EXPECT_NEAR(limits.mpe_w_per_m2, 6.1, 0.01);
+  EXPECT_DOUBLE_EQ(limits.sar_limit_w_per_kg, 1.6);
+  EXPECT_DOUBLE_EQ(limits.eirp_limit_dbm, 36.0);
+}
+
+TEST(Limits, PlateausOutsideBand) {
+  EXPECT_NEAR(fcc_limits(100e6).mpe_w_per_m2, 2.0, 1e-9);
+  EXPECT_NEAR(fcc_limits(2.4e9).mpe_w_per_m2, 10.0, 1e-9);
+}
+
+TEST(Exposure, PaperPrototypeCompliantAtBenchDistance) {
+  // 8 antennas x 1 W through 7 dBi at >= 1 m from skin, with the CIB duty
+  // cycle (the transmitter charges, then idles between query rounds).
+  const auto report = assess_exposure(8, 1.0, 7.0, 1.0, media::skin(), 915e6,
+                                      /*tx_duty_cycle=*/0.1);
+  EXPECT_TRUE(report.mpe_ok);
+  EXPECT_TRUE(report.sar_ok);
+  // 30 dBm + 7 dBi = 37 dBm slightly exceeds the Part 15 EIRP ceiling —
+  // exactly why deployments trim either power or antenna gain.
+  EXPECT_FALSE(report.eirp_ok);
+  EXPECT_NEAR(report.eirp_dbm, 37.0, 0.01);
+}
+
+TEST(Exposure, AverageScalesLinearlyInN) {
+  const auto one = assess_exposure(1, 1.0, 7.0, 0.5, media::skin(), 915e6);
+  const auto ten = assess_exposure(10, 1.0, 7.0, 0.5, media::skin(), 915e6);
+  EXPECT_NEAR(ten.avg_density_w_per_m2 / one.avg_density_w_per_m2, 10.0,
+              1e-9);
+  // Peak scales as N^2 (the CIB alignment spike).
+  EXPECT_NEAR(ten.peak_density_w_per_m2 / one.peak_density_w_per_m2, 100.0,
+              1e-9);
+}
+
+TEST(Exposure, DutyCyclingRestoresCompliance) {
+  // Continuous illumination at close range violates MPE; duty cycling (the
+  // paper's "intrinsic duty-cycled operation") brings it back under.
+  const auto continuous =
+      assess_exposure(10, 1.0, 7.0, 0.5, media::skin(), 915e6, 1.0);
+  const auto duty_cycled =
+      assess_exposure(10, 1.0, 7.0, 0.5, media::skin(), 915e6, 0.02);
+  EXPECT_FALSE(continuous.mpe_ok);
+  EXPECT_TRUE(duty_cycled.mpe_ok);
+}
+
+TEST(Exposure, SarGrowsWithTissueConductivity) {
+  const auto muscle = assess_exposure(8, 1.0, 7.0, 1.0, media::muscle(),
+                                      915e6, 0.1);
+  const auto fat =
+      assess_exposure(8, 1.0, 7.0, 1.0, media::fat(), 915e6, 0.1);
+  EXPECT_GT(muscle.surface_sar_w_per_kg, fat.surface_sar_w_per_kg);
+}
+
+TEST(Exposure, DensityFallsWithDistanceSquared) {
+  const auto near = assess_exposure(8, 1.0, 7.0, 0.5, media::skin(), 915e6);
+  const auto far = assess_exposure(8, 1.0, 7.0, 1.0, media::skin(), 915e6);
+  EXPECT_NEAR(near.avg_density_w_per_m2 / far.avg_density_w_per_m2, 4.0,
+              1e-9);
+}
+
+TEST(MaxPower, ConsistentWithAssessment) {
+  const double p_max = max_compliant_power_w(8, 7.0, 0.6, 915e6, 0.5);
+  ASSERT_GT(p_max, 0.0);
+  const auto at_limit =
+      assess_exposure(8, p_max * 0.999, 7.0, 0.6, media::skin(), 915e6, 0.5);
+  const auto above_limit =
+      assess_exposure(8, p_max * 1.2, 7.0, 0.6, media::skin(), 915e6, 0.5);
+  EXPECT_TRUE(at_limit.mpe_ok);
+  // 1.2x the bound must violate either MPE or EIRP.
+  EXPECT_FALSE(above_limit.mpe_ok && above_limit.eirp_ok);
+}
+
+TEST(MaxPower, EirpCeilingBindsFarAway) {
+  // Far from the body the MPE is easy; the Part 15 EIRP cap binds instead.
+  const double p_max = max_compliant_power_w(4, 7.0, 10.0, 915e6, 0.05);
+  EXPECT_NEAR(watts_to_dbm(p_max) + 7.0, 36.0, 0.1);
+}
+
+// Property sweep: duty cycle scales the average density linearly.
+class DutyScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutyScaling, LinearInDuty) {
+  const double duty = GetParam();
+  const auto full = assess_exposure(8, 1.0, 7.0, 1.0, media::skin(), 915e6,
+                                    1.0);
+  const auto scaled = assess_exposure(8, 1.0, 7.0, 1.0, media::skin(), 915e6,
+                                      duty);
+  EXPECT_NEAR(scaled.avg_density_w_per_m2,
+              full.avg_density_w_per_m2 * duty, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, DutyScaling,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,224 @@
+// Tests for ivnet/sim: scenarios, link calibration sanity, the gain-trial
+// machinery behind Figs. 9-12, and range search behind Fig. 13.
+#include <gtest/gtest.h>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+namespace ivnet {
+namespace {
+
+constexpr double kF = calib::kCibCenterHz;
+
+TEST(Scenario, BuildersProduceSaneGeometry) {
+  const auto air = air_scenario(5.0);
+  EXPECT_DOUBLE_EQ(air.air_distance_m, 5.0);
+  EXPECT_DOUBLE_EQ(air.depth_m, 0.0);
+  EXPECT_EQ(air.multipath_rays, 1u);
+
+  const auto tank = water_tank_scenario(0.1, 0.9);
+  EXPECT_DOUBLE_EQ(tank.air_distance_m, 0.9);
+  EXPECT_GT(tank.depth_m, 0.1);
+  EXPECT_EQ(tank.stack.layers().size(), 2u);  // water + tube air pocket
+
+  const auto gastric = swine_gastric_scenario(0.55);
+  EXPECT_EQ(gastric.stack.layers().size(), 6u);
+  EXPECT_GT(gastric.depth_m, 0.05);
+
+  const auto subcut = swine_subcutaneous_scenario(0.55);
+  EXPECT_LT(subcut.depth_m, gastric.depth_m);
+}
+
+TEST(Link, VoltageFallsWithDistance) {
+  const auto tag = standard_tag();
+  double prev = 1e9;
+  for (double r : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double v = single_antenna_voltage(air_scenario(r), tag, kF);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Link, VoltageFallsExponentiallyWithWaterDepth) {
+  const auto tag = standard_tag();
+  const double v5 = single_antenna_voltage(
+      water_tank_scenario(0.05, 0.9), tag, kF);
+  const double v10 = single_antenna_voltage(
+      water_tank_scenario(0.10, 0.9), tag, kF);
+  const double v15 = single_antenna_voltage(
+      water_tank_scenario(0.15, 0.9), tag, kF);
+  // Constant ratio per 5 cm -> exponential.
+  EXPECT_NEAR(v5 / v10, v10 / v15, 0.05 * (v5 / v10));
+  EXPECT_GT(v5 / v10, 1.3);
+}
+
+TEST(Link, StandardTagReceivesMoreThanMiniature) {
+  const auto scen = air_scenario(2.0);
+  EXPECT_GT(single_antenna_voltage(scen, standard_tag(), kF),
+            3.0 * single_antenna_voltage(scen, miniature_tag(), kF));
+}
+
+TEST(Link, CalibrationAnchorsSingleAntennaAirRange) {
+  // Sec. 6.1.2: a single antenna powers the standard tag out to ~5.2 m.
+  const auto tag = standard_tag();
+  const TagDevice device(tag);
+  const double v_at_52 = single_antenna_voltage(air_scenario(5.2), tag, kF);
+  EXPECT_NEAR(v_at_52, device.min_peak_voltage(), 0.15 * v_at_52);
+}
+
+TEST(Link, MiniatureCannotBePoweredInWaterBySingleAntenna) {
+  // Sec. 6.1.2: "without CIB beamforming, neither the small nor the
+  // standard tag can be powered up" at depth in the tank.
+  const auto tag = miniature_tag();
+  const TagDevice device(tag);
+  const double v = single_antenna_voltage(
+      water_tank_scenario(0.01, calib::kRangeSetupStandoffM), tag, kF);
+  EXPECT_LT(v, device.min_peak_voltage());
+}
+
+TEST(GainTrials, CibBeatsBaselineInMedian) {
+  Rng rng(1);
+  const auto trials = run_gain_trials(
+      water_tank_scenario(0.05, calib::kGainSetupStandoffM), standard_tag(),
+      FrequencyPlan::paper_default(), 60, rng);
+  const auto cib = summarize_cib(trials);
+  const auto base = summarize_baseline(trials);
+  EXPECT_GT(cib.p50, 4.0 * base.p50);  // paper: ~8x median
+  EXPECT_GT(cib.p50, 25.0);            // strong absolute gain at N = 10
+}
+
+TEST(GainTrials, GainsScaleWithAntennaCount) {
+  Rng rng(2);
+  const auto scen = water_tank_scenario(0.05, calib::kGainSetupStandoffM);
+  const auto few = summarize_cib(run_gain_trials(
+      scen, standard_tag(), FrequencyPlan::paper_default().truncated(3), 60,
+      rng));
+  const auto many = summarize_cib(run_gain_trials(
+      scen, standard_tag(), FrequencyPlan::paper_default(), 60, rng));
+  EXPECT_GT(many.p50, 2.0 * few.p50);
+}
+
+TEST(GainTrials, GenieBoundsCib) {
+  Rng rng(3);
+  const auto trials =
+      run_gain_trials(air_scenario(2.0), standard_tag(),
+                      FrequencyPlan::paper_default(), 40, rng);
+  for (const auto& t : trials) {
+    EXPECT_LE(t.cib_gain, t.genie_gain + 1e-6);
+  }
+}
+
+TEST(RangeSearch, AirRangeGrowsWithAntennas) {
+  Rng rng(4);
+  const auto tag = standard_tag();
+  const auto plan = FrequencyPlan::paper_default();
+  const double r1 = max_air_range(tag, plan.truncated(1), 9, rng);
+  const double r4 = max_air_range(tag, plan.truncated(4), 9, rng);
+  const double r8 = max_air_range(tag, plan.truncated(8), 9, rng);
+  EXPECT_GT(r4, 1.5 * r1);
+  EXPECT_GT(r8, r4);
+  // Paper anchors: ~5.2 m at one antenna, ~38 m at eight (7.6x).
+  EXPECT_NEAR(r1, 5.2, 1.3);
+  EXPECT_GT(r8 / r1, 5.0);
+  EXPECT_LT(r8 / r1, 9.0);
+}
+
+TEST(RangeSearch, WaterDepthLogarithmicInAntennas) {
+  Rng rng(5);
+  const auto tag = standard_tag();
+  const auto plan = FrequencyPlan::paper_default();
+  const double d2 = max_water_depth(tag, plan.truncated(2), 9, rng);
+  const double d4 = max_water_depth(tag, plan.truncated(4), 9, rng);
+  const double d8 = max_water_depth(tag, plan.truncated(8), 9, rng);
+  EXPECT_GT(d4, d2);
+  EXPECT_GT(d8, d4);
+  // Log-like: the increment shrinks... in antenna-count doublings the depth
+  // step is ~ln(2)/alpha each time, so d8-d4 should not exceed ~1.5x d4-d2.
+  EXPECT_LT(d8 - d4, 1.5 * (d4 - d2) + 0.01);
+}
+
+TEST(RangeSearch, MiniatureShallowerThanStandard) {
+  Rng rng(6);
+  const auto plan = FrequencyPlan::paper_default().truncated(8);
+  const double d_std = max_water_depth(standard_tag(), plan, 9, rng);
+  const double d_mini = max_water_depth(miniature_tag(), plan, 9, rng);
+  EXPECT_GT(d_std, d_mini);
+  EXPECT_GT(d_mini, 0.04);  // paper: 11 cm with 8 antennas
+}
+
+TEST(Session, AirSessionSucceedsEndToEnd) {
+  Rng rng(7);
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  const auto report =
+      run_gen2_session(air_scenario(2.0), standard_tag(), cfg, rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.command_decoded);
+  EXPECT_TRUE(report.replied);
+  EXPECT_TRUE(report.rn16_decoded);
+  EXPECT_GT(report.preamble_correlation, 0.8);
+  EXPECT_FALSE(report.tag_rail_trace.empty());
+}
+
+TEST(Session, DeepGastricMiniatureFails) {
+  // Sec. 6.2: "IVN was unable to establish communication with the miniature
+  // tag when placed inside the stomach."
+  Rng rng(8);
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  int successes = 0;
+  for (int k = 0; k < 6; ++k) {
+    const auto report = run_gen2_session(
+        swine_gastric_scenario(calib::kSwineStandoffM), miniature_tag(), cfg,
+        rng);
+    successes += report.rn16_decoded;
+  }
+  EXPECT_EQ(successes, 0);
+}
+
+TEST(Session, SubcutaneousWorksForBothTags) {
+  Rng rng(9);
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  cfg.reader.averaging_periods = 10;
+  for (const auto& tag : {standard_tag(), miniature_tag()}) {
+    const auto report = run_gen2_session(
+        swine_subcutaneous_scenario(calib::kSwineStandoffM), tag, cfg, rng);
+    EXPECT_TRUE(report.rn16_decoded) << tag.antenna.name();
+  }
+}
+
+TEST(Session, FarAirSessionFailsToPower) {
+  Rng rng(10);
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(2);
+  const auto report =
+      run_gen2_session(air_scenario(60.0), standard_tag(), cfg, rng);
+  EXPECT_FALSE(report.powered);
+  EXPECT_FALSE(report.rn16_decoded);
+}
+
+// Property sweep: power-up success is monotone in antenna count.
+class PowerUpMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerUpMonotone, MoreAntennasNeverHurt) {
+  Rng rng(42);
+  const auto scen = water_tank_scenario(GetParam(),
+                                        calib::kRangeSetupStandoffM);
+  const auto plan = FrequencyPlan::paper_default();
+  bool prev = false;
+  for (std::size_t n : {1u, 2u, 4u, 6u, 8u, 10u}) {
+    const bool ok =
+        can_power_up(scen, standard_tag(), plan.truncated(n), 15, 0.5, rng);
+    if (prev) {
+      EXPECT_TRUE(ok) << "regression at n=" << n;
+    }
+    prev = prev || ok;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PowerUpMonotone,
+                         ::testing::Values(0.02, 0.06, 0.10, 0.14, 0.18));
+
+}  // namespace
+}  // namespace ivnet

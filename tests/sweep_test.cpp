@@ -1,0 +1,119 @@
+// Broad parameter sweeps: media physics across the UHF band, optimizer
+// determinism and feasibility across antenna counts, and frequency-plan
+// invariants across truncations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/common/units.hpp"
+#include "ivnet/media/medium.hpp"
+
+namespace ivnet {
+namespace {
+
+// --- Media physics across 400 MHz - 2.4 GHz for every preset.
+class MediaFrequencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MediaFrequencySweep, PhysicalInvariantsHold) {
+  const double f = GetParam();
+  for (const auto& m :
+       {media::water(), media::gastric_fluid(), media::intestinal_fluid(),
+        media::steak(), media::bacon(), media::chicken(), media::skin(),
+        media::fat(), media::muscle(), media::stomach_wall()}) {
+    // Attenuation and phase constants positive; beta > alpha for any
+    // medium with loss tangent < sqrt(3) (all of ours at UHF).
+    EXPECT_GT(m.alpha(f), 0.0) << m.name();
+    EXPECT_GT(m.beta(f), m.alpha(f)) << m.name();
+    // Wavelength shrinks relative to air by at least sqrt(eps_r)
+    // (conductivity shortens it further).
+    EXPECT_LE(m.wavelength_in(f), wavelength(f) / std::sqrt(m.eps_r()) * 1.01)
+        << m.name();
+    // Impedance magnitude below air's.
+    EXPECT_LT(std::abs(m.impedance(f)), kEta0) << m.name();
+    // Boundary transmittance from air in (0, 1].
+    const double t = boundary_power_transmittance(media::air(), m, f);
+    EXPECT_GT(t, 0.0) << m.name();
+    EXPECT_LE(t, 1.0) << m.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, MediaFrequencySweep,
+                         ::testing::Values(400e6, 868e6, 915e6, 1.4e9,
+                                           2.4e9));
+
+// --- Optimizer determinism: identical seeds give identical plans.
+TEST(OptimizerSweep, DeterministicForSeed) {
+  OptimizerConfig cfg;
+  cfg.num_antennas = 6;
+  cfg.mc_trials = 16;
+  cfg.iterations = 40;
+  cfg.restarts = 2;
+  FrequencyOptimizer opt(cfg);
+  Rng a(99), b(99);
+  const auto ra = opt.optimize(a);
+  const auto rb = opt.optimize(b);
+  EXPECT_EQ(ra.offsets_hz, rb.offsets_hz);
+  EXPECT_DOUBLE_EQ(ra.score, rb.score);
+}
+
+// --- Feasible plans for every antenna count.
+class OptimizerFeasibility : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OptimizerFeasibility, AlwaysWithinConstraint) {
+  OptimizerConfig cfg;
+  cfg.num_antennas = GetParam();
+  cfg.mc_trials = 12;
+  cfg.iterations = 25;
+  cfg.restarts = 1;
+  FrequencyOptimizer opt(cfg);
+  Rng rng(GetParam() * 31);
+  const auto result = opt.optimize(rng);
+  const FrequencyPlan plan(915e6, result.offsets_hz);
+  EXPECT_EQ(plan.num_antennas(), GetParam());
+  EXPECT_TRUE(plan.satisfies(cfg.constraint));
+  EXPECT_GT(result.score, std::sqrt(static_cast<double>(GetParam())) - 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, OptimizerFeasibility,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u, 12u));
+
+// --- Plan invariants across truncations.
+class PlanTruncation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanTruncation, InvariantsSurviveTruncation) {
+  const auto plan = FrequencyPlan::paper_default().truncated(GetParam());
+  EXPECT_TRUE(plan.integer_offsets());
+  EXPECT_TRUE(plan.satisfies(FlatnessConstraint{}));
+  // RMS never grows when dropping the largest offsets.
+  EXPECT_LE(plan.rms_offset_hz(),
+            FrequencyPlan::paper_default().rms_offset_hz() + 1e-9);
+  // Period stays a divisor of 1 s.
+  if (GetParam() >= 2) {
+    const double period = plan.period_s();
+    EXPECT_GT(period, 0.0);
+    const double cycles = 1.0 / period;
+    EXPECT_NEAR(cycles, std::round(cycles), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanTruncation,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 9u, 10u));
+
+// --- The expected-peak objective is monotone in antenna count for the
+// --- paper's plan (adding an antenna never reduces the expected peak).
+TEST(ObjectiveSweep, ExpectedPeakMonotoneInN) {
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    Rng rng(1234);  // common random numbers across sizes
+    const auto plan = FrequencyPlan::paper_default().truncated(n);
+    const double e = expected_peak_amplitude(plan.offsets_hz(), 48, rng);
+    EXPECT_GT(e, prev - 0.05) << n;
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,32 @@
+// Compilation test for the umbrella header plus a smoke-level walk across
+// the public API it exposes — the snippet a new user would write first.
+#include <gtest/gtest.h>
+
+#include "ivnet/ivnet.hpp"
+
+namespace ivnet {
+namespace {
+
+TEST(Umbrella, PublicApiSmoke) {
+  Rng rng(1);
+
+  // The plan from the paper, validated against its own constraint.
+  const auto plan = FrequencyPlan::paper_default();
+  EXPECT_TRUE(plan.satisfies(FlatnessConstraint{}));
+
+  // A scene, a tag, one session.
+  const auto scene = air_scenario(2.0);
+  SessionConfig session;
+  session.plan = plan.truncated(8);
+  const auto report = run_gen2_session(scene, standard_tag(), session, rng);
+  EXPECT_TRUE(report.rn16_decoded);
+
+  // And the deployment planner over the same scene.
+  const auto deployment =
+      plan_deployment(scene, standard_tag(), DeploymentRequirements{}, rng);
+  EXPECT_TRUE(deployment.feasible);
+  EXPECT_FALSE(describe(deployment).empty());
+}
+
+}  // namespace
+}  // namespace ivnet

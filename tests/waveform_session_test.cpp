@@ -1,0 +1,142 @@
+// Tests for ivnet/sim/waveform_session: the sample-accurate pipeline, and
+// its cross-validation against the analytic experiment runner.
+#include <gtest/gtest.h>
+
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/waveform_session.hpp"
+
+namespace ivnet {
+namespace {
+
+WaveformSessionConfig fast_config(std::size_t antennas) {
+  WaveformSessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(antennas);
+  cfg.radio.sample_rate_hz = 800e3;
+  cfg.charge_time_s = 0.2;
+  return cfg;
+}
+
+TEST(WaveformSession, AirSessionSucceeds) {
+  Rng rng(1);
+  WaveformSession session(fast_config(8), rng);
+  const auto report = session.run(air_scenario(2.0), standard_tag(), rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.command_decoded);
+  EXPECT_TRUE(report.replied);
+  EXPECT_TRUE(report.rn16_decoded);
+  EXPECT_GT(report.preamble_correlation, 0.8);
+}
+
+TEST(WaveformSession, FarSessionFailsToPower) {
+  Rng rng(2);
+  WaveformSession session(fast_config(2), rng);
+  const auto report = session.run(air_scenario(60.0), standard_tag(), rng);
+  EXPECT_FALSE(report.powered);
+  EXPECT_FALSE(report.rn16_decoded);
+}
+
+TEST(WaveformSession, EnvelopePeakConsistentWithAnalyticScale) {
+  // The waveform-path peak envelope must be on the same scale as the
+  // analytic single-antenna voltage times the CIB peak bound.
+  Rng rng(3);
+  const auto scen = air_scenario(3.0);
+  const auto tag = standard_tag();
+  WaveformSession session(fast_config(4), rng);
+  const auto report = session.run(scen, tag, rng);
+  const double v1 = single_antenna_voltage(scen, tag, 915e6);
+  EXPECT_GT(report.peak_envelope_v, 0.8 * v1);        // at least one antenna
+  EXPECT_LT(report.peak_envelope_v, 4.0 * v1 * 1.6);  // bounded by N + fade
+}
+
+TEST(WaveformSession, MoreAntennasRaisePeak) {
+  Rng rng(4);
+  const auto scen = air_scenario(4.0);
+  const auto tag = standard_tag();
+  double peak2 = 0.0, peak8 = 0.0;
+  for (int k = 0; k < 5; ++k) {
+    WaveformSession s2(fast_config(2), rng);
+    WaveformSession s8(fast_config(8), rng);
+    peak2 += s2.run(scen, tag, rng).peak_envelope_v;
+    peak8 += s8.run(scen, tag, rng).peak_envelope_v;
+  }
+  EXPECT_GT(peak8, 2.0 * peak2);
+}
+
+TEST(WaveformSession, RepeatedTrialsGiveFreshRn16) {
+  Rng rng(5);
+  WaveformSession session(fast_config(8), rng);
+  const auto a = session.run(air_scenario(2.0), standard_tag(), rng);
+  session.new_trial(rng);
+  const auto b = session.run(air_scenario(2.0), standard_tag(), rng);
+  ASSERT_TRUE(a.rn16_decoded && b.rn16_decoded);
+  EXPECT_NE(a.rn16, b.rn16);
+}
+
+TEST(WaveformSession, AgreesWithAnalyticRunnerOnPowerUpDecision) {
+  // Cross-validation: over several scenarios, the waveform path and the
+  // analytic runner must mostly agree on whether the tag powers up.
+  Rng rng_a(6), rng_b(6);
+  int agreements = 0;
+  const int cases = 6;
+  const double distances[cases] = {1.0, 3.0, 8.0, 20.0, 45.0, 70.0};
+  for (int k = 0; k < cases; ++k) {
+    const auto scen = air_scenario(distances[k]);
+    WaveformSession session(fast_config(4), rng_a);
+    const bool wave_powered =
+        session.run(scen, standard_tag(), rng_a).powered;
+    const bool analytic_powered =
+        can_power_up(scen, standard_tag(),
+                     FrequencyPlan::paper_default().truncated(4), 15, 0.5,
+                     rng_b);
+    agreements += (wave_powered == analytic_powered);
+  }
+  EXPECT_GE(agreements, cases - 1);  // allow one borderline disagreement
+}
+
+
+TEST(SensorRead, FullDialogueRecoversVitals) {
+  Rng rng(10);
+  WaveformSession session(fast_config(8), rng);
+  const auto report =
+      session.run_sensor_read(air_scenario(2.0), standard_tag(), 12.5, rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.inventoried);
+  EXPECT_TRUE(report.secured);
+  ASSERT_TRUE(report.read_ok);
+  EXPECT_EQ(report.commands_sent, 4);  // Query, ACK, Req_RN, Read
+  ASSERT_EQ(report.words.size(), 4u);
+  // Vitals decode into physiological ranges (porcine gastric sensor).
+  EXPECT_GT(report.temperature_c, 37.0);
+  EXPECT_LT(report.temperature_c, 40.0);
+  EXPECT_GT(report.ph, 1.0);
+  EXPECT_LT(report.ph, 4.0);
+  EXPECT_GT(report.pressure_mmhg, 2.0);
+  EXPECT_LT(report.pressure_mmhg, 20.0);
+  EXPECT_EQ(report.words[3], 1u);  // first published sample
+}
+
+TEST(SensorRead, FailsCleanlyWhenUnpowered) {
+  Rng rng(11);
+  WaveformSession session(fast_config(2), rng);
+  const auto report = session.run_sensor_read(air_scenario(60.0),
+                                              standard_tag(), 0.0, rng);
+  EXPECT_FALSE(report.powered);
+  EXPECT_FALSE(report.inventoried);
+  EXPECT_FALSE(report.read_ok);
+  EXPECT_EQ(report.commands_sent, 0);
+}
+
+TEST(SensorRead, SubcutaneousSwinePlacementWorks) {
+  Rng rng(12);
+  WaveformSessionConfig cfg = fast_config(8);
+  cfg.reader.averaging_periods = 10;
+  WaveformSession session(cfg, rng);
+  const auto report = session.run_sensor_read(
+      swine_subcutaneous_scenario(calib::kSwineStandoffM), standard_tag(),
+      3.0, rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.read_ok);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,0 +1,336 @@
+// ivnet — command-line front end to the IVN reproduction.
+//
+//   ivnet plan     [--antennas N] [--json]    run the Eq. 10 optimizer
+//   ivnet media    [--json]                   dielectric property table
+//   ivnet range    --tag std|mini --medium air|water [--antennas N] [--json]
+//   ivnet session  --scenario air|water|gastric|subcut [--tag std|mini]
+//                  [--antennas N] [--distance M | --depth M] [--json]
+//   ivnet vitals   [--rounds K]               sensor-read dialogues (swine)
+//   ivnet safety   [--antennas N] [--duty D] [--json]
+//   ivnet help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "ivnet/common/json.hpp"
+#include "ivnet/common/units.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+#include "ivnet/sim/planner.hpp"
+#include "ivnet/sim/safety.hpp"
+#include "ivnet/sim/waveform_session.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double get_num(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token.erase(0, 2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.flags[token] = argv[++i];
+    } else {
+      args.flags[token] = "1";
+    }
+  }
+  return args;
+}
+
+TagConfig tag_from(const Args& args) {
+  return args.get("tag", "std") == "mini" ? miniature_tag() : standard_tag();
+}
+
+int cmd_plan(const Args& args) {
+  OptimizerConfig cfg;
+  cfg.num_antennas =
+      static_cast<std::size_t>(args.get_num("antennas", 10));
+  cfg.mc_trials = 48;
+  cfg.iterations = 120;
+  cfg.restarts = 2;
+  FrequencyOptimizer optimizer(cfg);
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 7)));
+  const auto result = optimizer.optimize(rng);
+
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("antennas", cfg.num_antennas);
+    w.field("rms_limit_hz", cfg.constraint.rms_limit_hz());
+    w.key("offsets_hz").begin_array();
+    for (double f : result.offsets_hz) w.value(f);
+    w.end_array();
+    w.field("expected_peak_amplitude", result.score);
+    w.field("rms_hz", result.rms_hz);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("offsets [Hz]:");
+  for (double f : result.offsets_hz) std::printf(" %.0f", f);
+  std::printf("\nE[peak] = %.2f / %zu, RMS %.1f Hz (limit %.1f Hz)\n",
+              result.score, cfg.num_antennas, result.rms_hz,
+              cfg.constraint.rms_limit_hz());
+  return 0;
+}
+
+int cmd_media(const Args& args) {
+  const Medium list[] = {media::air(),     media::water(),
+                         media::gastric_fluid(), media::intestinal_fluid(),
+                         media::steak(),   media::bacon(),
+                         media::chicken(), media::skin(),
+                         media::fat(),     media::muscle(),
+                         media::stomach_wall()};
+  const double f = calib::kCibCenterHz;
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_array();
+    for (const auto& m : list) {
+      w.begin_object();
+      w.field("name", m.name());
+      w.field("eps_r", m.eps_r());
+      w.field("sigma_s_per_m", m.sigma());
+      w.field("alpha_np_per_m", m.alpha(f));
+      w.field("loss_db_per_cm", m.power_loss_db_per_cm(f));
+      w.end_object();
+    }
+    w.end_array();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("%-18s %-8s %-10s %-14s %s\n", "medium", "eps_r", "sigma",
+              "alpha [Np/m]", "loss [dB/cm]");
+  for (const auto& m : list) {
+    std::printf("%-18s %-8.1f %-10.2f %-14.1f %.2f\n", m.name().c_str(),
+                m.eps_r(), m.sigma(), m.alpha(f),
+                m.power_loss_db_per_cm(f));
+  }
+  return 0;
+}
+
+int cmd_range(const Args& args) {
+  const auto tag = tag_from(args);
+  const auto n = static_cast<std::size_t>(args.get_num("antennas", 8));
+  const auto plan = FrequencyPlan::paper_default().truncated(n);
+  Rng rng(17);
+  const bool water = args.get("medium", "air") == "water";
+  const double result = water ? max_water_depth(tag, plan, 15, rng)
+                              : max_air_range(tag, plan, 15, rng, 120.0);
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("tag", tag.antenna.name());
+    w.field("medium", water ? "water" : "air");
+    w.field("antennas", n);
+    w.field(water ? "max_depth_m" : "max_range_m", result);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else if (water) {
+    std::printf("%s, %zu antennas: max water depth %.1f cm\n",
+                tag.antenna.name().c_str(), n, result * 100.0);
+  } else {
+    std::printf("%s, %zu antennas: max air range %.1f m\n",
+                tag.antenna.name().c_str(), n, result);
+  }
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  const auto tag = tag_from(args);
+  const auto n = static_cast<std::size_t>(args.get_num("antennas", 8));
+  const std::string kind = args.get("scenario", "air");
+  Scenario scen;
+  if (kind == "water") {
+    scen = water_tank_scenario(args.get_num("depth", 0.05),
+                               calib::kRangeSetupStandoffM);
+  } else if (kind == "gastric") {
+    scen = swine_gastric_scenario(calib::kSwineStandoffM);
+  } else if (kind == "subcut") {
+    scen = swine_subcutaneous_scenario(calib::kSwineStandoffM);
+  } else {
+    scen = air_scenario(args.get_num("distance", 2.0));
+  }
+  SessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(n);
+  cfg.reader.averaging_periods =
+      static_cast<std::size_t>(args.get_num("averaging", 10));
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 99)));
+  const auto r = run_gen2_session(scen, tag, cfg, rng);
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("scenario", scen.name);
+    w.field("tag", tag.antenna.name());
+    w.field("antennas", n);
+    w.field("powered", r.powered);
+    w.field("command_decoded", r.command_decoded);
+    w.field("rn16_decoded", r.rn16_decoded);
+    w.field("preamble_correlation", r.preamble_correlation);
+    w.field("peak_envelope_v", r.peak_envelope_v);
+    w.field("peak_rail_v", r.peak_rail_v);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return r.rn16_decoded ? 0 : 1;
+  }
+  std::printf("scenario %s, %s, %zu antennas\n", scen.name.c_str(),
+              tag.antenna.name().c_str(), n);
+  std::printf("powered=%s decoded=%s corr=%.2f env=%.2fV rail=%.2fV\n",
+              r.powered ? "yes" : "no", r.rn16_decoded ? "yes" : "no",
+              r.preamble_correlation, r.peak_envelope_v, r.peak_rail_v);
+  return r.rn16_decoded ? 0 : 1;
+}
+
+int cmd_vitals(const Args& args) {
+  const int rounds = static_cast<int>(args.get_num("rounds", 5));
+  WaveformSessionConfig cfg;
+  cfg.plan = FrequencyPlan::paper_default().truncated(8);
+  cfg.charge_time_s = 0.2;
+  cfg.reader.averaging_periods = 10;
+  Rng rng(4242);
+  WaveformSession session(cfg, rng);
+  int ok = 0;
+  for (int k = 0; k < rounds; ++k) {
+    Scenario scen = swine_gastric_scenario(calib::kSwineStandoffM,
+                                           rng.uniform(0.0, 0.05));
+    scen.orientation_rad = rng.uniform(0.0, kPi);
+    session.new_trial(rng);
+    const auto r =
+        session.run_sensor_read(scen, standard_tag(), k * 10.0, rng);
+    if (r.read_ok) {
+      ++ok;
+      std::printf("round %d: T=%.2f C, pH=%.2f, P=%.1f mmHg\n", k,
+                  r.temperature_c, r.ph, r.pressure_mmhg);
+    } else {
+      std::printf("round %d: %s\n", k,
+                  r.powered ? "uplink/access lost" : "below threshold");
+    }
+  }
+  std::printf("vitals read %d/%d rounds\n", ok, rounds);
+  return ok > 0 ? 0 : 1;
+}
+
+int cmd_safety(const Args& args) {
+  const auto n = static_cast<std::size_t>(args.get_num("antennas", 8));
+  const double duty = args.get_num("duty", 0.1);
+  const double distance = args.get_num("distance", 1.0);
+  const auto r = assess_exposure(n, dbm_to_watts(calib::kTxPowerDbm),
+                                 calib::kTxGainDbi, distance, media::skin(),
+                                 calib::kCibCenterHz, duty);
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("antennas", n);
+    w.field("duty", duty);
+    w.field("skin_distance_m", distance);
+    w.field("avg_density_w_per_m2", r.avg_density_w_per_m2);
+    w.field("peak_density_w_per_m2", r.peak_density_w_per_m2);
+    w.field("surface_sar_w_per_kg", r.surface_sar_w_per_kg);
+    w.field("eirp_dbm", r.eirp_dbm);
+    w.field("mpe_ok", r.mpe_ok);
+    w.field("sar_ok", r.sar_ok);
+    w.field("eirp_ok", r.eirp_ok);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("%zu antennas, duty %.2f, skin at %.2f m:\n", n, duty,
+              distance);
+  std::printf("  avg %.3f W/m^2 (MPE %s), peak %.1f W/m^2, SAR %.4f W/kg "
+              "(%s), EIRP %.1f dBm (%s)\n",
+              r.avg_density_w_per_m2, r.mpe_ok ? "ok" : "VIOLATION",
+              r.peak_density_w_per_m2, r.surface_sar_w_per_kg,
+              r.sar_ok ? "ok" : "VIOLATION", r.eirp_dbm,
+              r.eirp_ok ? "ok" : "over Part-15 cap");
+  return 0;
+}
+
+int cmd_deploy(const Args& args) {
+  const auto tag = tag_from(args);
+  const std::string kind = args.get("scenario", "water");
+  Scenario scen;
+  if (kind == "air") {
+    scen = air_scenario(args.get_num("distance", 2.0));
+  } else if (kind == "gastric") {
+    scen = swine_gastric_scenario(calib::kSwineStandoffM);
+  } else if (kind == "subcut") {
+    scen = swine_subcutaneous_scenario(calib::kSwineStandoffM);
+  } else {
+    scen = water_tank_scenario(args.get_num("depth", 0.10),
+                               calib::kRangeSetupStandoffM);
+  }
+  DeploymentRequirements req;
+  req.min_reads_per_minute = args.get_num("reads-per-minute", 1.0);
+  req.burst_energy_j = args.get_num("burst-uj", 3.0) * 1e-6;
+  req.max_antennas =
+      static_cast<std::size_t>(args.get_num("max-antennas", 10));
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 5)));
+  const auto plan = plan_deployment(scen, tag, req, rng);
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("scenario", scen.name);
+    w.field("tag", tag.antenna.name());
+    w.field("feasible", plan.feasible);
+    w.field("antennas", plan.antennas);
+    w.field("power_up_probability", plan.power_up_probability);
+    w.field("energy_per_period_j", plan.energy_per_period_j);
+    w.field("reads_per_minute", plan.expected_reads_per_minute);
+    w.field("limiting_factor", plan.limiting_factor);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("deployment for %s / %s:\n  %s\n", scen.name.c_str(),
+                tag.antenna.name().c_str(), describe(plan).c_str());
+  }
+  return plan.feasible ? 0 : 1;
+}
+
+int cmd_help() {
+  std::printf(
+      "ivnet — In-Vivo Networking (SIGCOMM'18) reproduction CLI\n\n"
+      "  plan     [--antennas N] [--json]   Eq. 10 frequency optimizer\n"
+      "  media    [--json]                  dielectric property table\n"
+      "  range    --tag std|mini --medium air|water [--antennas N]\n"
+      "  session  --scenario air|water|gastric|subcut [--tag std|mini]\n"
+      "           [--antennas N] [--distance M|--depth M] [--json]\n"
+      "  vitals   [--rounds K]              gastric sensor-read dialogues\n"
+      "  safety   [--antennas N] [--duty D] [--distance M] [--json]\n"
+      "  deploy   --scenario air|water|gastric|subcut [--tag std|mini]\n"
+      "           [--depth M] [--reads-per-minute R] [--json]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "plan") return cmd_plan(args);
+  if (args.command == "media") return cmd_media(args);
+  if (args.command == "range") return cmd_range(args);
+  if (args.command == "session") return cmd_session(args);
+  if (args.command == "vitals") return cmd_vitals(args);
+  if (args.command == "safety") return cmd_safety(args);
+  if (args.command == "deploy") return cmd_deploy(args);
+  return cmd_help();
+}
