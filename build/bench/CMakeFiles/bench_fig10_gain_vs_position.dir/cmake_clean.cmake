@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gain_vs_position.dir/bench_fig10_gain_vs_position.cpp.o"
+  "CMakeFiles/bench_fig10_gain_vs_position.dir/bench_fig10_gain_vs_position.cpp.o.d"
+  "bench_fig10_gain_vs_position"
+  "bench_fig10_gain_vs_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gain_vs_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_media_gain.dir/bench_fig11_media_gain.cpp.o"
+  "CMakeFiles/bench_fig11_media_gain.dir/bench_fig11_media_gain.cpp.o.d"
+  "bench_fig11_media_gain"
+  "bench_fig11_media_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_media_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_range_vs_antennas.dir/bench_fig13_range_vs_antennas.cpp.o"
+  "CMakeFiles/bench_fig13_range_vs_antennas.dir/bench_fig13_range_vs_antennas.cpp.o.d"
+  "bench_fig13_range_vs_antennas"
+  "bench_fig13_range_vs_antennas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_range_vs_antennas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

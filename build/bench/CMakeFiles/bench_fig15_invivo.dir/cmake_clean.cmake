@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_invivo.dir/bench_fig15_invivo.cpp.o"
+  "CMakeFiles/bench_fig15_invivo.dir/bench_fig15_invivo.cpp.o.d"
+  "bench_fig15_invivo"
+  "bench_fig15_invivo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_invivo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

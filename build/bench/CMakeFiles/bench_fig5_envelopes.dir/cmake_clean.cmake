@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_envelopes.dir/bench_fig5_envelopes.cpp.o"
+  "CMakeFiles/bench_fig5_envelopes.dir/bench_fig5_envelopes.cpp.o.d"
+  "bench_fig5_envelopes"
+  "bench_fig5_envelopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_envelopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x10_duty_cycle.dir/bench_x10_duty_cycle.cpp.o"
+  "CMakeFiles/bench_x10_duty_cycle.dir/bench_x10_duty_cycle.cpp.o.d"
+  "bench_x10_duty_cycle"
+  "bench_x10_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x10_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

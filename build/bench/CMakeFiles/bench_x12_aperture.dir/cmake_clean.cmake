@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x12_aperture.dir/bench_x12_aperture.cpp.o"
+  "CMakeFiles/bench_x12_aperture.dir/bench_x12_aperture.cpp.o.d"
+  "bench_x12_aperture"
+  "bench_x12_aperture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x12_aperture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_freq_optimizer.dir/bench_x1_freq_optimizer.cpp.o"
+  "CMakeFiles/bench_x1_freq_optimizer.dir/bench_x1_freq_optimizer.cpp.o.d"
+  "bench_x1_freq_optimizer"
+  "bench_x1_freq_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_freq_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

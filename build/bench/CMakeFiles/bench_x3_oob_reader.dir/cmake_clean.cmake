@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_oob_reader.dir/bench_x3_oob_reader.cpp.o"
+  "CMakeFiles/bench_x3_oob_reader.dir/bench_x3_oob_reader.cpp.o.d"
+  "bench_x3_oob_reader"
+  "bench_x3_oob_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_oob_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

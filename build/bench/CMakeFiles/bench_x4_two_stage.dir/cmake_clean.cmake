@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_two_stage.dir/bench_x4_two_stage.cpp.o"
+  "CMakeFiles/bench_x4_two_stage.dir/bench_x4_two_stage.cpp.o.d"
+  "bench_x4_two_stage"
+  "bench_x4_two_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_two_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

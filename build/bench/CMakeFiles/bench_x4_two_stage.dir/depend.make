@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x4_two_stage.
+# This may be replaced when dependencies are built.

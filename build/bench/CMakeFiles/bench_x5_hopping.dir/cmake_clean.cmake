@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_hopping.dir/bench_x5_hopping.cpp.o"
+  "CMakeFiles/bench_x5_hopping.dir/bench_x5_hopping.cpp.o.d"
+  "bench_x5_hopping"
+  "bench_x5_hopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_hopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

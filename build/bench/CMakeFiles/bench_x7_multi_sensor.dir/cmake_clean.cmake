@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x7_multi_sensor.dir/bench_x7_multi_sensor.cpp.o"
+  "CMakeFiles/bench_x7_multi_sensor.dir/bench_x7_multi_sensor.cpp.o.d"
+  "bench_x7_multi_sensor"
+  "bench_x7_multi_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x7_multi_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

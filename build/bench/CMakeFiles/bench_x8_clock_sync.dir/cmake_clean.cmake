@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x8_clock_sync.dir/bench_x8_clock_sync.cpp.o"
+  "CMakeFiles/bench_x8_clock_sync.dir/bench_x8_clock_sync.cpp.o.d"
+  "bench_x8_clock_sync"
+  "bench_x8_clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x8_clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x9_miller_uplink.dir/bench_x9_miller_uplink.cpp.o"
+  "CMakeFiles/bench_x9_miller_uplink.dir/bench_x9_miller_uplink.cpp.o.d"
+  "bench_x9_miller_uplink"
+  "bench_x9_miller_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x9_miller_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

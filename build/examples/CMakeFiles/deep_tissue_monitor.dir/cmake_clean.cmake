@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_tissue_monitor.dir/deep_tissue_monitor.cpp.o"
+  "CMakeFiles/deep_tissue_monitor.dir/deep_tissue_monitor.cpp.o.d"
+  "deep_tissue_monitor"
+  "deep_tissue_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_tissue_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

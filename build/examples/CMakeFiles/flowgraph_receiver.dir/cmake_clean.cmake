@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowgraph_receiver.dir/flowgraph_receiver.cpp.o"
+  "CMakeFiles/flowgraph_receiver.dir/flowgraph_receiver.cpp.o.d"
+  "flowgraph_receiver"
+  "flowgraph_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowgraph_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_planner.dir/frequency_planner.cpp.o"
+  "CMakeFiles/frequency_planner.dir/frequency_planner.cpp.o.d"
+  "frequency_planner"
+  "frequency_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_range_rfid.dir/long_range_rfid.cpp.o"
+  "CMakeFiles/long_range_rfid.dir/long_range_rfid.cpp.o.d"
+  "long_range_rfid"
+  "long_range_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_range_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

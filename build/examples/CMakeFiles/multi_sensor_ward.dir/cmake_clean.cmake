@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_ward.dir/multi_sensor_ward.cpp.o"
+  "CMakeFiles/multi_sensor_ward.dir/multi_sensor_ward.cpp.o.d"
+  "multi_sensor_ward"
+  "multi_sensor_ward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_ward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivnet/cib/baseline.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/baseline.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/baseline.cpp.o.d"
+  "/root/repo/src/ivnet/cib/frequency_plan.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/frequency_plan.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/frequency_plan.cpp.o.d"
+  "/root/repo/src/ivnet/cib/hopping.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/hopping.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/hopping.cpp.o.d"
+  "/root/repo/src/ivnet/cib/objective.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/objective.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/objective.cpp.o.d"
+  "/root/repo/src/ivnet/cib/optimizer.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/optimizer.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/optimizer.cpp.o.d"
+  "/root/repo/src/ivnet/cib/scheduler.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/scheduler.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/scheduler.cpp.o.d"
+  "/root/repo/src/ivnet/cib/transmitter.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/transmitter.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/transmitter.cpp.o.d"
+  "/root/repo/src/ivnet/cib/two_stage.cpp" "src/CMakeFiles/ivnet.dir/ivnet/cib/two_stage.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/cib/two_stage.cpp.o.d"
+  "/root/repo/src/ivnet/common/json.cpp" "src/CMakeFiles/ivnet.dir/ivnet/common/json.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/common/json.cpp.o.d"
+  "/root/repo/src/ivnet/common/rng.cpp" "src/CMakeFiles/ivnet.dir/ivnet/common/rng.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/common/rng.cpp.o.d"
+  "/root/repo/src/ivnet/common/stats.cpp" "src/CMakeFiles/ivnet.dir/ivnet/common/stats.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/common/stats.cpp.o.d"
+  "/root/repo/src/ivnet/flow/flow.cpp" "src/CMakeFiles/ivnet.dir/ivnet/flow/flow.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/flow/flow.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/commands.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/commands.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/commands.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/crc.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/crc.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/crc.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/fm0.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/fm0.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/fm0.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/link_timing.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/link_timing.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/link_timing.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/memory.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/memory.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/memory.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/miller.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/miller.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/miller.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/pie.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/pie.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/pie.cpp.o.d"
+  "/root/repo/src/ivnet/gen2/tag_sm.cpp" "src/CMakeFiles/ivnet.dir/ivnet/gen2/tag_sm.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/gen2/tag_sm.cpp.o.d"
+  "/root/repo/src/ivnet/harvester/diode.cpp" "src/CMakeFiles/ivnet.dir/ivnet/harvester/diode.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/harvester/diode.cpp.o.d"
+  "/root/repo/src/ivnet/harvester/energy.cpp" "src/CMakeFiles/ivnet.dir/ivnet/harvester/energy.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/harvester/energy.cpp.o.d"
+  "/root/repo/src/ivnet/harvester/harvester.cpp" "src/CMakeFiles/ivnet.dir/ivnet/harvester/harvester.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/harvester/harvester.cpp.o.d"
+  "/root/repo/src/ivnet/harvester/rectifier.cpp" "src/CMakeFiles/ivnet.dir/ivnet/harvester/rectifier.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/harvester/rectifier.cpp.o.d"
+  "/root/repo/src/ivnet/harvester/transient.cpp" "src/CMakeFiles/ivnet.dir/ivnet/harvester/transient.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/harvester/transient.cpp.o.d"
+  "/root/repo/src/ivnet/media/layered.cpp" "src/CMakeFiles/ivnet.dir/ivnet/media/layered.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/media/layered.cpp.o.d"
+  "/root/repo/src/ivnet/media/medium.cpp" "src/CMakeFiles/ivnet.dir/ivnet/media/medium.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/media/medium.cpp.o.d"
+  "/root/repo/src/ivnet/reader/inventory.cpp" "src/CMakeFiles/ivnet.dir/ivnet/reader/inventory.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/reader/inventory.cpp.o.d"
+  "/root/repo/src/ivnet/reader/oob_reader.cpp" "src/CMakeFiles/ivnet.dir/ivnet/reader/oob_reader.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/reader/oob_reader.cpp.o.d"
+  "/root/repo/src/ivnet/rf/antenna.cpp" "src/CMakeFiles/ivnet.dir/ivnet/rf/antenna.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/rf/antenna.cpp.o.d"
+  "/root/repo/src/ivnet/rf/channel.cpp" "src/CMakeFiles/ivnet.dir/ivnet/rf/channel.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/rf/channel.cpp.o.d"
+  "/root/repo/src/ivnet/rf/propagation.cpp" "src/CMakeFiles/ivnet.dir/ivnet/rf/propagation.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/rf/propagation.cpp.o.d"
+  "/root/repo/src/ivnet/rf/sounding.cpp" "src/CMakeFiles/ivnet.dir/ivnet/rf/sounding.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/rf/sounding.cpp.o.d"
+  "/root/repo/src/ivnet/sdr/clock.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sdr/clock.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sdr/clock.cpp.o.d"
+  "/root/repo/src/ivnet/sdr/pa.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sdr/pa.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sdr/pa.cpp.o.d"
+  "/root/repo/src/ivnet/sdr/pll.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sdr/pll.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sdr/pll.cpp.o.d"
+  "/root/repo/src/ivnet/sdr/radio.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sdr/radio.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sdr/radio.cpp.o.d"
+  "/root/repo/src/ivnet/sdr/rx_chain.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sdr/rx_chain.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sdr/rx_chain.cpp.o.d"
+  "/root/repo/src/ivnet/signal/correlate.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/correlate.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/correlate.cpp.o.d"
+  "/root/repo/src/ivnet/signal/envelope.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/envelope.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/envelope.cpp.o.d"
+  "/root/repo/src/ivnet/signal/fir.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/fir.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/fir.cpp.o.d"
+  "/root/repo/src/ivnet/signal/goertzel.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/goertzel.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/goertzel.cpp.o.d"
+  "/root/repo/src/ivnet/signal/iq.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/iq.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/iq.cpp.o.d"
+  "/root/repo/src/ivnet/signal/noise.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/noise.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/noise.cpp.o.d"
+  "/root/repo/src/ivnet/signal/resampler.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/resampler.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/resampler.cpp.o.d"
+  "/root/repo/src/ivnet/signal/waveform.cpp" "src/CMakeFiles/ivnet.dir/ivnet/signal/waveform.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/signal/waveform.cpp.o.d"
+  "/root/repo/src/ivnet/sim/experiment.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/experiment.cpp.o.d"
+  "/root/repo/src/ivnet/sim/mobility.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/mobility.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/mobility.cpp.o.d"
+  "/root/repo/src/ivnet/sim/planner.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/planner.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/planner.cpp.o.d"
+  "/root/repo/src/ivnet/sim/safety.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/safety.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/safety.cpp.o.d"
+  "/root/repo/src/ivnet/sim/scenario.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/scenario.cpp.o.d"
+  "/root/repo/src/ivnet/sim/waveform_session.cpp" "src/CMakeFiles/ivnet.dir/ivnet/sim/waveform_session.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/sim/waveform_session.cpp.o.d"
+  "/root/repo/src/ivnet/tag/actuator.cpp" "src/CMakeFiles/ivnet.dir/ivnet/tag/actuator.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/tag/actuator.cpp.o.d"
+  "/root/repo/src/ivnet/tag/sensor.cpp" "src/CMakeFiles/ivnet.dir/ivnet/tag/sensor.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/tag/sensor.cpp.o.d"
+  "/root/repo/src/ivnet/tag/tag_device.cpp" "src/CMakeFiles/ivnet.dir/ivnet/tag/tag_device.cpp.o" "gcc" "src/CMakeFiles/ivnet.dir/ivnet/tag/tag_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actuator_test.dir/actuator_test.cpp.o"
+  "CMakeFiles/actuator_test.dir/actuator_test.cpp.o.d"
+  "actuator_test"
+  "actuator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actuator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

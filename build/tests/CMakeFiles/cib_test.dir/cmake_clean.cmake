@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cib_test.dir/cib_test.cpp.o"
+  "CMakeFiles/cib_test.dir/cib_test.cpp.o.d"
+  "cib_test"
+  "cib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

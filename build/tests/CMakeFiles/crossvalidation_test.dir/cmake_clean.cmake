@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossvalidation_test.dir/crossvalidation_test.cpp.o"
+  "CMakeFiles/crossvalidation_test.dir/crossvalidation_test.cpp.o.d"
+  "crossvalidation_test"
+  "crossvalidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen2_fuzz_test.dir/gen2_fuzz_test.cpp.o"
+  "CMakeFiles/gen2_fuzz_test.dir/gen2_fuzz_test.cpp.o.d"
+  "gen2_fuzz_test"
+  "gen2_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen2_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen2_test.dir/gen2_test.cpp.o"
+  "CMakeFiles/gen2_test.dir/gen2_test.cpp.o.d"
+  "gen2_test"
+  "gen2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

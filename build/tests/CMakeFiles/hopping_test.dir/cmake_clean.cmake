@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopping_test.dir/hopping_test.cpp.o"
+  "CMakeFiles/hopping_test.dir/hopping_test.cpp.o.d"
+  "hopping_test"
+  "hopping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

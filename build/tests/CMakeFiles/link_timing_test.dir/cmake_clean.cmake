@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_timing_test.dir/link_timing_test.cpp.o"
+  "CMakeFiles/link_timing_test.dir/link_timing_test.cpp.o.d"
+  "link_timing_test"
+  "link_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miller_test.dir/miller_test.cpp.o"
+  "CMakeFiles/miller_test.dir/miller_test.cpp.o.d"
+  "miller_test"
+  "miller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

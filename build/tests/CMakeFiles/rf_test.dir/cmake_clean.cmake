@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_test.dir/rf_test.cpp.o"
+  "CMakeFiles/rf_test.dir/rf_test.cpp.o.d"
+  "rf_test"
+  "rf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

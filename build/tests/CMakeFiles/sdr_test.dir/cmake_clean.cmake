@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_test.dir/sdr_test.cpp.o"
+  "CMakeFiles/sdr_test.dir/sdr_test.cpp.o.d"
+  "sdr_test"
+  "sdr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sounding_scheduler_test.dir/sounding_scheduler_test.cpp.o"
+  "CMakeFiles/sounding_scheduler_test.dir/sounding_scheduler_test.cpp.o.d"
+  "sounding_scheduler_test"
+  "sounding_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sounding_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

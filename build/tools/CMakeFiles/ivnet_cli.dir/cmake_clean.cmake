@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivnet_cli.dir/ivnet_cli.cpp.o"
+  "CMakeFiles/ivnet_cli.dir/ivnet_cli.cpp.o.d"
+  "ivnet"
+  "ivnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
