@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "ivnet/cib/objective.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/common/parallel.hpp"
 #include "ivnet/gen2/commands.hpp"
 #include "ivnet/gen2/fm0.hpp"
 #include "ivnet/gen2/pie.hpp"
@@ -47,6 +49,58 @@ void BM_ExpectedPeakGain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExpectedPeakGain)->Arg(8)->Arg(32);
+
+// --- Multi-threaded objective benchmarks: second arg is the pool size.
+// The determinism contract makes the thread count a pure performance knob,
+// so these measure scaling without changing any result.
+
+void BM_ExpectedPeakGainThreaded(benchmark::State& state) {
+  set_parallel_threads(static_cast<std::size_t>(state.range(1)));
+  const auto offsets = plan_offsets(10);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_peak_amplitude(
+        offsets, static_cast<std::size_t>(state.range(0)), rng));
+  }
+  set_parallel_threads(0);
+}
+BENCHMARK(BM_ExpectedPeakGainThreaded)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({128, 8});
+
+void BM_ConductionFractionThreaded(benchmark::State& state) {
+  set_parallel_threads(static_cast<std::size_t>(state.range(1)));
+  const auto offsets = plan_offsets(10);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expected_conduction_fraction(offsets, 3.0, 64, rng));
+  }
+  set_parallel_threads(0);
+}
+BENCHMARK(BM_ConductionFractionThreaded)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8});
+
+void BM_OptimizerThreaded(benchmark::State& state) {
+  set_parallel_threads(static_cast<std::size_t>(state.range(0)));
+  OptimizerConfig cfg;
+  cfg.num_antennas = 6;
+  cfg.mc_trials = 24;
+  cfg.iterations = 20;
+  cfg.restarts = 3;
+  for (auto _ : state) {
+    FrequencyOptimizer opt(cfg);
+    Rng rng(6);
+    benchmark::DoNotOptimize(opt.optimize(rng));
+  }
+  set_parallel_threads(0);
+}
+BENCHMARK(BM_OptimizerThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PieEncodeDecode(benchmark::State& state) {
   const auto bits = gen2::QueryCommand{}.encode();

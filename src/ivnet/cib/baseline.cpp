@@ -22,11 +22,7 @@ double cib_peak_amplitude(const Channel& channel,
     amplitudes[i] = std::abs(h);
     phases[i] = std::arg(h);
   }
-  if (steps == 0) steps = default_steps(offsets_hz, t_max_s);
-  const auto env = cib_envelope(offsets_hz, phases, amplitudes, t_max_s, steps);
-  double peak = 0.0;
-  for (double v : env) peak = std::max(peak, v);
-  return peak;
+  return max_envelope(offsets_hz, phases, amplitudes, t_max_s, steps);
 }
 
 double coherent_blind_amplitude(const Channel& channel, double freq_offset_hz) {

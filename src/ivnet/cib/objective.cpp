@@ -3,11 +3,88 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <complex>
 
+#include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
 
 namespace ivnet {
+namespace {
+
+/// Re-anchor the rotating phasors from std::polar this often. The
+/// incremental rotation multiplies a unit phasor up to 2^20 times; without
+/// periodic renormalization the product drifts off the unit circle by
+/// roughly steps * eps in amplitude and phase.
+constexpr std::size_t kRenormInterval = 4096;
+
+/// Tone counts up to this stay on the stack (the paper uses at most 10).
+constexpr std::size_t kInlineTones = 32;
+
+/// Stack-first scratch buffer: no heap traffic for realistic tone counts.
+class Scratch {
+ public:
+  double* get(std::size_t n) {
+    if (n <= kInlineTones) return inline_;
+    heap_.resize(n);
+    return heap_.data();
+  }
+
+ private:
+  double inline_[kInlineTones];
+  std::vector<double> heap_;
+};
+
+/// Scans the squared envelope |sum_i a_i e^{j(2 pi df_i t + beta_i)}|^2 over
+/// `steps` samples of [0, t_max), calling per_sample(step, magnitude_sq) for
+/// each. Structure-of-arrays layout (separate re/im lanes) with a fused
+/// sum+rotate loop the compiler can autovectorize; phasors are re-anchored
+/// from std::polar every kRenormInterval steps to kill multiplicative drift.
+template <typename PerSample>
+void scan_envelope_sq(std::span<const double> offsets_hz,
+                      std::span<const double> phases,
+                      std::span<const double> amplitudes, double t_max_s,
+                      std::size_t steps, PerSample&& per_sample) {
+  assert(offsets_hz.size() == phases.size());
+  assert(amplitudes.empty() || amplitudes.size() == offsets_hz.size());
+  const std::size_t n = offsets_hz.size();
+  const double dt = t_max_s / static_cast<double>(steps);
+
+  Scratch sre, sim, scre, scim;
+  double* re = sre.get(n);
+  double* im = sim.get(n);
+  double* cre = scre.get(n);
+  double* cim = scim.get(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = kTwoPi * offsets_hz[i] * dt;
+    cre[i] = std::cos(w);
+    cim[i] = std::sin(w);
+  }
+  const auto anchor = [&](std::size_t step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double amp = amplitudes.empty() ? 1.0 : amplitudes[i];
+      const double ph =
+          phases[i] + kTwoPi * offsets_hz[i] * dt * static_cast<double>(step);
+      re[i] = amp * std::cos(ph);
+      im[i] = amp * std::sin(ph);
+    }
+  };
+
+  anchor(0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (s != 0 && s % kRenormInterval == 0) anchor(s);
+    double sum_re = 0.0;
+    double sum_im = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum_re += re[i];
+      sum_im += im[i];
+      const double r = re[i] * cre[i] - im[i] * cim[i];
+      im[i] = re[i] * cim[i] + im[i] * cre[i];
+      re[i] = r;
+    }
+    per_sample(s, sum_re * sum_re + sum_im * sum_im);
+  }
+}
+
+}  // namespace
 
 std::size_t default_steps(std::span<const double> offsets_hz, double t_max_s) {
   double max_offset = 1.0;
@@ -23,26 +100,9 @@ std::vector<double> cib_envelope(std::span<const double> offsets_hz,
                                  std::span<const double> phases,
                                  std::span<const double> amplitudes,
                                  double t_max_s, std::size_t steps) {
-  assert(offsets_hz.size() == phases.size());
-  assert(amplitudes.empty() || amplitudes.size() == offsets_hz.size());
   std::vector<double> env(steps, 0.0);
-  const double dt = t_max_s / static_cast<double>(steps);
-  // Incremental rotation per tone.
-  std::vector<std::complex<double>> rot(offsets_hz.size());
-  std::vector<std::complex<double>> step(offsets_hz.size());
-  for (std::size_t i = 0; i < offsets_hz.size(); ++i) {
-    const double amp = amplitudes.empty() ? 1.0 : amplitudes[i];
-    rot[i] = std::polar(amp, phases[i]);
-    step[i] = std::polar(1.0, kTwoPi * offsets_hz[i] * dt);
-  }
-  for (std::size_t n = 0; n < steps; ++n) {
-    std::complex<double> sum{0.0, 0.0};
-    for (std::size_t i = 0; i < rot.size(); ++i) {
-      sum += rot[i];
-      rot[i] *= step[i];
-    }
-    env[n] = std::abs(sum);
-  }
+  scan_envelope_sq(offsets_hz, phases, amplitudes, t_max_s, steps,
+                   [&env](std::size_t s, double sq) { env[s] = std::sqrt(sq); });
   return env;
 }
 
@@ -50,34 +110,66 @@ double peak_envelope(std::span<const double> offsets_hz,
                      std::span<const double> phases, double t_max_s,
                      std::size_t steps) {
   if (steps == 0) steps = default_steps(offsets_hz, t_max_s);
-  const auto env =
-      cib_envelope(offsets_hz, phases, /*amplitudes=*/{}, t_max_s, steps);
+  double best_sq = -1.0;
   std::size_t best = 0;
-  for (std::size_t i = 1; i < env.size(); ++i) {
-    if (env[i] > env[best]) best = i;
-  }
+  double prev_sq = 0.0;
+  double y0 = 0.0;  // squared envelope one sample before the peak
+  double y2 = 0.0;  // ... and one sample after
+  bool capture_next = false;
+  scan_envelope_sq(offsets_hz, phases, /*amplitudes=*/{}, t_max_s, steps,
+                   [&](std::size_t s, double sq) {
+                     if (capture_next) {
+                       y2 = sq;
+                       capture_next = false;
+                     }
+                     if (sq > best_sq) {
+                       best_sq = sq;
+                       best = s;
+                       y0 = prev_sq;
+                       capture_next = true;
+                     }
+                     prev_sq = sq;
+                   });
   // Parabolic refinement on the squared envelope around the best sample.
-  if (best == 0 || best + 1 >= env.size()) return env[best];
-  const double y0 = env[best - 1] * env[best - 1];
-  const double y1 = env[best] * env[best];
-  const double y2 = env[best + 1] * env[best + 1];
+  if (best == 0 || best + 1 >= steps) return std::sqrt(best_sq);
+  const double y1 = best_sq;
   const double denom = y0 - 2.0 * y1 + y2;
-  if (std::abs(denom) < 1e-12) return env[best];
+  if (std::abs(denom) < 1e-12) return std::sqrt(y1);
   const double delta = 0.5 * (y0 - y2) / denom;
   const double peak_sq = y1 - 0.25 * (y0 - y2) * delta;
   return std::sqrt(std::max(peak_sq, y1));
 }
 
+double max_envelope(std::span<const double> offsets_hz,
+                    std::span<const double> phases,
+                    std::span<const double> amplitudes, double t_max_s,
+                    std::size_t steps) {
+  if (steps == 0) steps = default_steps(offsets_hz, t_max_s);
+  double best_sq = 0.0;
+  scan_envelope_sq(offsets_hz, phases, amplitudes, t_max_s, steps,
+                   [&best_sq](std::size_t, double sq) {
+                     if (sq > best_sq) best_sq = sq;
+                   });
+  return std::sqrt(best_sq);
+}
+
 SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
                                  std::size_t trials, Rng& rng,
                                  double t_max_s) {
-  SampleSet set;
-  std::vector<double> phases(offsets_hz.size());
+  const std::size_t n = offsets_hz.size();
   const std::size_t steps = default_steps(offsets_hz, t_max_s);
-  for (std::size_t k = 0; k < trials; ++k) {
-    for (auto& p : phases) p = rng.phase();
-    set.add(peak_envelope(offsets_hz, phases, t_max_s, steps));
-  }
+  const std::uint64_t base = rng();
+  std::vector<double> peaks(trials);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
+    Scratch scratch;
+    double* phases = scratch.get(n);
+    for (std::size_t i = 0; i < n; ++i) phases[i] = trial_rng.phase();
+    peaks[k] = peak_envelope(offsets_hz, std::span<const double>(phases, n),
+                             t_max_s, steps);
+  });
+  SampleSet set;
+  for (double p : peaks) set.add(p);
   return set;
 }
 
@@ -98,18 +190,26 @@ double expected_conduction_fraction(std::span<const double> offsets_hz,
                                     double threshold_amplitude,
                                     std::size_t trials, Rng& rng,
                                     double t_max_s) {
-  std::vector<double> phases(offsets_hz.size());
+  const std::size_t n = offsets_hz.size();
   const std::size_t steps = default_steps(offsets_hz, t_max_s);
-  double total = 0.0;
-  for (std::size_t k = 0; k < trials; ++k) {
-    for (auto& p : phases) p = rng.phase();
-    const auto env = cib_envelope(offsets_hz, phases, {}, t_max_s, steps);
+  const double threshold_sq = threshold_amplitude * threshold_amplitude;
+  const std::uint64_t base = rng();
+  std::vector<double> fractions(trials);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
+    Scratch scratch;
+    double* phases = scratch.get(n);
+    for (std::size_t i = 0; i < n; ++i) phases[i] = trial_rng.phase();
     std::size_t above = 0;
-    for (double v : env) {
-      if (v >= threshold_amplitude) ++above;
-    }
-    total += static_cast<double>(above) / static_cast<double>(steps);
-  }
+    scan_envelope_sq(offsets_hz, std::span<const double>(phases, n),
+                     /*amplitudes=*/{}, t_max_s, steps,
+                     [&above, threshold_sq](std::size_t, double sq) {
+                       if (sq >= threshold_sq) ++above;
+                     });
+    fractions[k] = static_cast<double>(above) / static_cast<double>(steps);
+  });
+  double total = 0.0;  // sequential sum: bitwise identical across pool sizes
+  for (double f : fractions) total += f;
   return total / static_cast<double>(std::max<std::size_t>(1, trials));
 }
 

@@ -26,13 +26,27 @@ std::vector<double> cib_envelope(std::span<const double> offsets_hz,
 
 /// Peak of the envelope over [0, t_max) for the given phase draw, with
 /// parabolic refinement around the best grid sample. Grid resolution
-/// defaults to ~16 samples per cycle of the largest offset.
+/// defaults to ~16 samples per cycle of the largest offset. Fused: never
+/// materializes the envelope vector and allocates nothing for the tone
+/// counts the paper uses.
 double peak_envelope(std::span<const double> offsets_hz,
                      std::span<const double> phases, double t_max_s,
                      std::size_t steps = 0);
 
+/// Largest grid sample of the envelope (no refinement), with per-tone
+/// amplitudes. The fused path behind cib_peak_amplitude: scans the envelope
+/// without materializing it.
+double max_envelope(std::span<const double> offsets_hz,
+                    std::span<const double> phases,
+                    std::span<const double> amplitudes, double t_max_s,
+                    std::size_t steps = 0);
+
 /// Monte-Carlo samples of the per-trial peak AMPLITUDE, phases drawn
 /// uniformly — the inner max of Eq. 6 sampled across channel conditions.
+///
+/// Trials run on the shared thread pool. `rng` is consumed exactly once (a
+/// stream base); each trial draws its phases from Rng::stream(base, trial),
+/// so the result is bitwise identical for any IVNET_THREADS value.
 SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
                                  std::size_t trials, Rng& rng,
                                  double t_max_s = 1.0);

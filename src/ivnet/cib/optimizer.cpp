@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ivnet/cib/objective.hpp"
+#include "ivnet/common/parallel.hpp"
 
 namespace ivnet {
 
@@ -64,40 +65,68 @@ double FrequencyOptimizer::score(std::span<const double> offsets_hz) const {
   return objective_(offsets_hz, scoring_rng);
 }
 
-OptimizerResult FrequencyOptimizer::optimize(Rng& rng) {
-  OptimizerResult best;
+FrequencyOptimizer::RestartOutcome FrequencyOptimizer::run_restart(
+    Rng& rng) const {
   const double limit = config_.constraint.rms_limit_hz();
+  RestartOutcome out;
+  out.offsets_hz = random_feasible(rng);
+  out.score = score(out.offsets_hz);
+  out.evaluations = 1;
 
-  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
-    std::vector<double> current = random_feasible(rng);
-    double current_score = score(current);
-    ++best.evaluations;
-
-    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
-      // Propose: move one offset by a random step (never the anchored 0th).
-      if (current.size() < 2) break;
-      std::vector<double> candidate = current;
-      const auto idx = static_cast<std::size_t>(rng.uniform_int(
-          1, static_cast<std::int64_t>(candidate.size()) - 1));
-      const double magnitude =
-          static_cast<double>(rng.uniform_int(1, 16));
-      const double direction = rng.uniform() < 0.5 ? -1.0 : 1.0;
-      candidate[idx] =
-          std::clamp(candidate[idx] + direction * magnitude, 1.0,
-                     std::floor(limit * std::sqrt(
-                                    static_cast<double>(candidate.size()))));
-      std::sort(candidate.begin(), candidate.end());
-      if (!feasible(candidate)) continue;
-      const double cand_score = score(candidate);
-      ++best.evaluations;
-      if (cand_score > current_score) {
-        current = std::move(candidate);
-        current_score = cand_score;
-      }
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    // Propose: move one offset by a random step (never the anchored 0th).
+    if (out.offsets_hz.size() < 2) break;
+    std::vector<double> candidate = out.offsets_hz;
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(candidate.size()) - 1));
+    const double magnitude = static_cast<double>(rng.uniform_int(1, 16));
+    const double direction = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    candidate[idx] =
+        std::clamp(candidate[idx] + direction * magnitude, 1.0,
+                   std::floor(limit * std::sqrt(
+                                  static_cast<double>(candidate.size()))));
+    std::sort(candidate.begin(), candidate.end());
+    if (!feasible(candidate)) continue;
+    const double cand_score = score(candidate);
+    ++out.evaluations;
+    if (cand_score > out.score) {
+      out.offsets_hz = std::move(candidate);
+      out.score = cand_score;
     }
-    if (current_score > best.score) {
-      best.score = current_score;
-      best.offsets_hz = current;
+  }
+  return out;
+}
+
+OptimizerResult FrequencyOptimizer::optimize(Rng& rng) {
+  // Each restart hill-climbs from its own counter-derived proposal stream,
+  // so restarts are independent and can run concurrently; the winner is
+  // picked in restart order. `rng` is consumed exactly once (the stream
+  // base), making the result bitwise identical for any thread count.
+  const std::uint64_t base = rng();
+  std::vector<RestartOutcome> outcomes(config_.restarts);
+  const bool restarts_wide = config_.restarts >= parallel_thread_count();
+  if (restarts_wide) {
+    // Enough restarts to fill the pool: parallelize at the restart level
+    // (the nested scoring loops then run inline on each worker).
+    parallel_for(config_.restarts, [&](std::size_t r) {
+      Rng restart_rng = Rng::stream(base, r);
+      outcomes[r] = run_restart(restart_rng);
+    });
+  } else {
+    // Few restarts: run them sequentially and let the Monte-Carlo scoring
+    // inside score() use the pool instead. Same streams, same result.
+    for (std::size_t r = 0; r < config_.restarts; ++r) {
+      Rng restart_rng = Rng::stream(base, r);
+      outcomes[r] = run_restart(restart_rng);
+    }
+  }
+
+  OptimizerResult best;
+  for (const auto& out : outcomes) {
+    best.evaluations += out.evaluations;
+    if (out.score > best.score) {
+      best.score = out.score;
+      best.offsets_hz = out.offsets_hz;
     }
   }
   double sum_sq = 0.0;

@@ -50,7 +50,9 @@ class FrequencyOptimizer {
 
   /// Run the search. `rng` drives the proposal randomness; scoring uses
   /// common random numbers from config.score_seed so candidate comparisons
-  /// are low-variance.
+  /// are low-variance. Restarts run concurrently on the shared pool, each
+  /// from its own counter-derived stream — `rng` is consumed exactly once,
+  /// and the result is bitwise identical for any IVNET_THREADS value.
   OptimizerResult optimize(Rng& rng);
 
   /// Score one specific offset set with the configured objective and trial
@@ -60,6 +62,13 @@ class FrequencyOptimizer {
   const OptimizerConfig& config() const { return config_; }
 
  private:
+  struct RestartOutcome {
+    std::vector<double> offsets_hz;
+    double score = 0.0;
+    std::size_t evaluations = 0;
+  };
+
+  RestartOutcome run_restart(Rng& rng) const;
   std::vector<double> random_feasible(Rng& rng) const;
   bool feasible(std::span<const double> offsets_hz) const;
 

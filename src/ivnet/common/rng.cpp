@@ -74,6 +74,16 @@ double Rng::normal(double mean, double stddev) { return mean + stddev * normal()
 
 double Rng::phase() { return uniform() * kTwoPi; }
 
+Rng Rng::stream(std::uint64_t base_seed, std::uint64_t index) {
+  // Hash the index through SplitMix64 so consecutive trial indices land in
+  // unrelated regions of seed space, then re-expand seed ^ hash(index)
+  // through the constructor's SplitMix64 state fill. Distinct (seed, index)
+  // pairs give decorrelated xoshiro256++ states.
+  std::uint64_t x = index;
+  const std::uint64_t hashed = splitmix64(x);
+  return Rng(base_seed ^ hashed);
+}
+
 Rng Rng::fork() {
   Rng child(0);
   // Seed the child from four fresh draws so parent and child streams are

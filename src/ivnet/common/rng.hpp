@@ -51,6 +51,13 @@ class Rng {
   /// own stream so adding draws to one component cannot perturb another.
   Rng fork();
 
+  /// Counter-based stream derivation: an independent generator for trial
+  /// `index` of a Monte-Carlo run keyed by `base_seed`. Purely a function of
+  /// (base_seed, index) — no shared state — so trials can be evaluated in
+  /// any order, on any thread, and still draw identical values. This is the
+  /// determinism contract of the parallel trial loops.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t index);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

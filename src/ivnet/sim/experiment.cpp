@@ -6,6 +6,7 @@
 
 #include "ivnet/cib/baseline.hpp"
 #include "ivnet/cib/objective.hpp"
+#include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
 #include "ivnet/signal/envelope.hpp"
 #include "ivnet/sim/calibration.hpp"
@@ -72,11 +73,15 @@ std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
                                        std::size_t trials, Rng& rng) {
   const double v1 = single_antenna_voltage(scenario, tag, plan.center_hz());
   const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
-  std::vector<GainTrial> results;
-  results.reserve(trials);
-  for (std::size_t k = 0; k < trials; ++k) {
+  // One blind channel draw per trial, each from its own counter-derived
+  // stream: trials run concurrently yet the result is bitwise identical for
+  // any thread count (`rng` is consumed exactly once, for the stream base).
+  const std::uint64_t base = rng();
+  std::vector<GainTrial> results(trials);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
-        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
+        scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
     GainTrial trial;
     // The reference is what the paper's procedure measures: the peak power a
     // SINGLE antenna delivers to the same location — i.e. that antenna's own
@@ -90,8 +95,8 @@ std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
     trial.cib_gain = (cib_amp / ref) * (cib_amp / ref);
     trial.baseline_gain = (base_amp / ref) * (base_amp / ref);
     trial.genie_gain = (genie_amp / ref) * (genie_amp / ref);
-    results.push_back(trial);
-  }
+    results[k] = trial;
+  });
   return results;
 }
 
@@ -115,13 +120,19 @@ bool can_power_up(const Scenario& scenario, const TagConfig& tag,
   const TagDevice device(tag);
   const double threshold = device.min_peak_voltage();
   const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
-  std::size_t successes = 0;
-  for (std::size_t k = 0; k < trials; ++k) {
+  const std::uint64_t base = rng();
+  // Per-trial success flags; the integer count is order-independent, so the
+  // verdict is bitwise identical for any thread count.
+  std::vector<std::uint8_t> powered(trials, 0);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
-        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
+        scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
     const double peak = cib_peak_amplitude(channel, plan.offsets_hz(), t_max);
-    if (peak >= threshold) ++successes;
-  }
+    powered[k] = peak >= threshold ? 1 : 0;
+  });
+  std::size_t successes = 0;
+  for (std::uint8_t p : powered) successes += p;
   return static_cast<double>(successes) >=
          success_ratio * static_cast<double>(trials);
 }

@@ -6,6 +6,7 @@
 
 #include "ivnet/cib/baseline.hpp"
 #include "ivnet/cib/objective.hpp"
+#include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
 #include "ivnet/harvester/harvester.hpp"
 #include "ivnet/sim/calibration.hpp"
@@ -21,14 +22,19 @@ double power_up_probability(const Scenario& scenario, const TagConfig& tag,
   const TagDevice device(tag);
   const double threshold = device.min_peak_voltage();
   const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
-  std::size_t ok = 0;
-  for (std::size_t k = 0; k < trials; ++k) {
+  const std::uint64_t base = rng();
+  std::vector<std::uint8_t> powered(trials, 0);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
-        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
-    if (cib_peak_amplitude(channel, plan.offsets_hz(), t_max) >= threshold) {
-      ++ok;
-    }
-  }
+        scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
+    powered[k] =
+        cib_peak_amplitude(channel, plan.offsets_hz(), t_max) >= threshold
+            ? 1
+            : 0;
+  });
+  std::size_t ok = 0;
+  for (std::uint8_t p : powered) ok += p;
   return static_cast<double>(ok) / static_cast<double>(trials);
 }
 
@@ -37,11 +43,12 @@ double median_energy_per_period(const Scenario& scenario, const TagConfig& tag,
                                 const FrequencyPlan& plan, std::size_t trials,
                                 Rng& rng) {
   const Harvester harvester(tag.harvester);
-  std::vector<double> energies;
-  energies.reserve(trials);
-  for (std::size_t k = 0; k < trials; ++k) {
+  const std::uint64_t base = rng();
+  std::vector<double> energies(trials);
+  parallel_for(trials, [&](std::size_t k) {
+    Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
-        scenario, tag, plan.num_antennas(), plan.center_hz(), rng);
+        scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
     std::vector<double> amps(plan.num_antennas());
     std::vector<double> phases(plan.num_antennas());
     for (std::size_t i = 0; i < plan.num_antennas(); ++i) {
@@ -49,9 +56,9 @@ double median_energy_per_period(const Scenario& scenario, const TagConfig& tag,
       amps[i] = std::abs(h);
       phases[i] = std::arg(h);
     }
-    auto env = cib_envelope(plan.offsets_hz(), phases, amps, 1.0, 10000);
-    energies.push_back(harvester.run(env, 10e3).harvested_energy_j);
-  }
+    const auto env = cib_envelope(plan.offsets_hz(), phases, amps, 1.0, 10000);
+    energies[k] = harvester.run(env, 10e3).harvested_energy_j;
+  });
   return median(energies);
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
 
 #include "ivnet/cib/baseline.hpp"
 #include "ivnet/cib/frequency_plan.hpp"
@@ -117,6 +118,40 @@ TEST(Objective, ConductionFractionDecreasesWithThreshold) {
   EXPECT_GT(at_low, at_high);
   EXPECT_GT(at_low, 0.3);   // envelope is above 1x single-antenna often
   EXPECT_LT(at_high, 0.3);  // but rarely above 6x
+}
+
+TEST(Objective, EnvelopeMatchesDirectPolarAtLargeStepCounts) {
+  // Regression for incremental-rotation drift: the envelope evaluator
+  // multiplies unit phasors up to 2^20 times, which slowly walks them off
+  // the unit circle unless they are re-anchored from std::polar. Compare
+  // against direct evaluation at spot-checked sample indices.
+  Rng rng(3);
+  const auto offsets = FrequencyPlan::paper_default().offsets_hz();
+  std::vector<double> phases(offsets.size());
+  std::vector<double> amps(offsets.size());
+  for (auto& p : phases) p = rng.phase();
+  for (auto& a : amps) a = rng.uniform(0.5, 2.0);
+  const std::size_t steps = std::size_t{1} << 20;
+  const double t_max = 1.0;
+  const auto env = cib_envelope(offsets, phases, amps, t_max, steps);
+  const double dt = t_max / static_cast<double>(steps);
+  for (std::size_t n = 0; n < steps; n += 65521) {  // prime stride: hits
+    std::complex<double> sum{0.0, 0.0};             // mid-renorm samples too
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      sum += std::polar(amps[i],
+                        phases[i] + kTwoPi * offsets[i] * dt *
+                                        static_cast<double>(n));
+    }
+    EXPECT_NEAR(env[n], std::abs(sum), 1e-9) << "sample " << n;
+  }
+  // The very last sample has seen the most accumulated rotation.
+  std::complex<double> last{0.0, 0.0};
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    last += std::polar(amps[i],
+                       phases[i] + kTwoPi * offsets[i] * dt *
+                                       static_cast<double>(steps - 1));
+  }
+  EXPECT_NEAR(env[steps - 1], std::abs(last), 1e-9);
 }
 
 TEST(Objective, EnvelopePeriodicity) {
