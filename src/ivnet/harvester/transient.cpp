@@ -9,7 +9,8 @@ namespace ivnet {
 
 TransientResult simulate_doubler_waveform(const DoublerConfig& config,
                                           const std::vector<double>& v_in,
-                                          double sample_rate_hz) {
+                                          double sample_rate_hz,
+                                          DoublerState initial) {
   TransientResult r;
   r.sample_rate_hz = sample_rate_hz;
   r.v_in = v_in;
@@ -20,8 +21,8 @@ TransientResult simulate_doubler_waveform(const DoublerConfig& config,
   const double dt = 1.0 / sample_rate_hz;
   // State: vc1 = voltage across C1 (series cap, input side polarity),
   //        vc2 = voltage across C2 (output).
-  double vc1 = 0.0;
-  double vc2 = 0.0;
+  double vc1 = initial.vc1_v;
+  double vc2 = initial.vc2_v;
   std::size_t on_count = 0;
 
   for (std::size_t i = 0; i < v_in.size(); ++i) {
@@ -47,6 +48,7 @@ TransientResult simulate_doubler_waveform(const DoublerConfig& config,
     if (r.d1_conducting[i] || r.d2_conducting[i]) ++on_count;
   }
   r.final_v_out = r.v_out.empty() ? 0.0 : r.v_out.back();
+  r.final_state = DoublerState{.vc1_v = vc1, .vc2_v = vc2};
   r.conduction_fraction =
       v_in.empty() ? 0.0
                    : static_cast<double>(on_count) /

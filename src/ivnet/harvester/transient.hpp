@@ -18,6 +18,14 @@ struct DoublerConfig {
   double load_ohm = 1e6;  ///< across C2
 };
 
+/// Capacitor state of the doubler, for resuming a transient run where a
+/// previous record left off (e.g. gating successive backscatter replies
+/// without re-charging from a cold rail).
+struct DoublerState {
+  double vc1_v = 0.0;  ///< voltage across the series cap C1
+  double vc2_v = 0.0;  ///< voltage across the output cap C2 (the rail)
+};
+
 /// Trace of one transient run.
 struct TransientResult {
   std::vector<double> v_out;        ///< voltage across C2 per sample
@@ -27,6 +35,7 @@ struct TransientResult {
   double final_v_out = 0.0;
   double conduction_fraction = 0.0;  ///< fraction of samples with any diode on
   double sample_rate_hz = 0.0;
+  DoublerState final_state;          ///< pass back in to continue the run
 };
 
 /// Simulate the doubler driven by v_in(t) = amplitude * cos(2*pi*f*t) for
@@ -38,9 +47,11 @@ TransientResult simulate_doubler(const DoublerConfig& config, double amplitude_v
                                  double carrier_hz, int cycles,
                                  int samples_per_cycle = 64);
 
-/// Drive the doubler with an arbitrary sampled input voltage.
+/// Drive the doubler with an arbitrary sampled input voltage, starting from
+/// `initial` capacitor state (cold by default).
 TransientResult simulate_doubler_waveform(const DoublerConfig& config,
                                           const std::vector<double>& v_in,
-                                          double sample_rate_hz);
+                                          double sample_rate_hz,
+                                          DoublerState initial = {});
 
 }  // namespace ivnet

@@ -1,0 +1,75 @@
+// Reader-side recovery policy shared by every session runner.
+//
+// A deep-tissue session fails transiently all the time — a burst erasure
+// eats the RN16, the correlation gate rejects a noisy preamble, the tag
+// browns out mid-reply. The paper's reader simply re-queries on the next
+// CIB envelope peak; this header gives that behaviour a uniform shape:
+// bounded retries with exponential backoff, a per-command reply timeout,
+// and a per-stage failure record threaded into every session report
+// (impair/link_session, sim/waveform_session, sim/experiment).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ivnet {
+
+/// Retry/backoff/timeout knobs of a reader session.
+struct RecoveryPolicy {
+  /// Attempts per command, including the first (1 = never retry).
+  int max_attempts = 1;
+  /// Wait before the first retry; doubles (backoff_factor) per retry.
+  double initial_backoff_s = 2e-3;
+  double backoff_factor = 2.0;
+  /// A command whose reply has not decoded within this window counts as a
+  /// timeout (distinct from a garbled reply, which counts as a retry only).
+  double command_timeout_s = 20e-3;
+
+  /// Convenience: a policy that retries `n` times with the defaults.
+  static RecoveryPolicy retries(int n) {
+    RecoveryPolicy p;
+    p.max_attempts = n + 1;
+    return p;
+  }
+
+  double backoff_for_attempt(int attempt) const {
+    double b = initial_backoff_s;
+    for (int i = 0; i < attempt; ++i) b *= backoff_factor;
+    return b;
+  }
+};
+
+/// Where in the dialogue a session died (kNone = it did not).
+enum class SessionStage : std::uint8_t {
+  kNone = 0,  ///< completed
+  kCharge,    ///< tag never powered
+  kQuery,     ///< no decodable RN16
+  kAck,       ///< no CRC-clean EPC
+  kReqRn,     ///< no access handle
+  kRead,      ///< sensor words missing or CRC-dirty
+};
+
+constexpr std::string_view to_string(SessionStage stage) {
+  switch (stage) {
+    case SessionStage::kNone: return "none";
+    case SessionStage::kCharge: return "charge";
+    case SessionStage::kQuery: return "query";
+    case SessionStage::kAck: return "ack";
+    case SessionStage::kReqRn: return "req_rn";
+    case SessionStage::kRead: return "read";
+  }
+  return "unknown";
+}
+
+/// Recovery bookkeeping every session report carries.
+struct RecoveryStats {
+  int retries = 0;       ///< re-sent commands (all causes)
+  int timeouts = 0;      ///< retries caused by a silent tag
+  double backoff_total_s = 0.0;
+  SessionStage failed_stage = SessionStage::kNone;
+  /// Reader Q after each Query attempt (adaptive-Q trajectory).
+  std::vector<std::uint8_t> q_trajectory;
+};
+
+}  // namespace ivnet

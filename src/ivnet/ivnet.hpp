@@ -45,6 +45,12 @@
 #include "ivnet/gen2/pie.hpp"
 #include "ivnet/gen2/tag_sm.hpp"
 
+// Impairments and recovery.
+#include "ivnet/impair/impairment.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/impair/recovery.hpp"
+#include "ivnet/impair/waterfall.hpp"
+
 // Radios, tags, readers.
 #include "ivnet/reader/inventory.hpp"
 #include "ivnet/reader/oob_reader.hpp"

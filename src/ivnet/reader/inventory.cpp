@@ -1,11 +1,37 @@
 #include "ivnet/reader/inventory.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ivnet {
 
+InventoryConfig InventoryConfig::normalized() const {
+  InventoryConfig n = *this;
+  n.q = std::min<std::uint8_t>(q, 15);
+  if (std::isnan(n.capture_probability)) n.capture_probability = 0.0;
+  n.capture_probability = std::clamp(n.capture_probability, 0.0, 1.0);
+  return n;
+}
+
+AdaptiveQ::AdaptiveQ(AdaptiveQConfig config)
+    : config_(config),
+      qfp_(std::clamp(config.initial_q, static_cast<double>(config.q_min),
+                      static_cast<double>(config.q_max))) {}
+
+void AdaptiveQ::on_collision() {
+  qfp_ = std::min(qfp_ + config_.step, static_cast<double>(config_.q_max));
+}
+
+void AdaptiveQ::on_empty() {
+  qfp_ = std::max(qfp_ - config_.step, static_cast<double>(config_.q_min));
+}
+
+std::uint8_t AdaptiveQ::q() const {
+  return static_cast<std::uint8_t>(std::lround(qfp_));
+}
+
 InventoryRound::InventoryRound(InventoryConfig config)
-    : config_(std::move(config)) {}
+    : config_(config.normalized()) {}
 
 gen2::Bits InventoryRound::extract_epc(const gen2::Bits& frame) {
   if (frame.size() < 32 || !gen2::check_crc16(frame)) return {};
@@ -14,7 +40,13 @@ gen2::Bits InventoryRound::extract_epc(const gen2::Bits& frame) {
 
 InventoryResult InventoryRound::run(std::span<gen2::TagStateMachine*> tags,
                                     Rng& rng) const {
+  return run_with_q(tags, config_.q, rng);
+}
+
+InventoryResult InventoryRound::run_with_q(
+    std::span<gen2::TagStateMachine*> tags, std::uint8_t q, Rng& rng) const {
   InventoryResult result;
+  result.q_trajectory.push_back(q);
 
   if (config_.use_select) {
     gen2::SelectCommand select;
@@ -25,7 +57,7 @@ InventoryResult InventoryRound::run(std::span<gen2::TagStateMachine*> tags,
   }
 
   gen2::QueryCommand query;
-  query.q = config_.q;
+  query.q = q;
   query.session = config_.session;
   query.sel = config_.use_select ? 3 : 0;  // SL asserted when addressing
 
@@ -41,18 +73,23 @@ InventoryResult InventoryRound::run(std::span<gen2::TagStateMachine*> tags,
   };
 
   broadcast(query.encode());
+  // max_slots == 0 means "derive from Q": the whole 2^q frame plus one slot
+  // of collision slack per tag.
+  const std::size_t derived = (std::size_t{1} << q) + tags.size();
   const std::size_t total_slots =
-      std::min<std::size_t>(config_.max_slots,
-                            (std::size_t{1} << config_.q) + tags.size());
+      config_.max_slots == 0 ? derived : std::min(config_.max_slots, derived);
   for (std::size_t slot = 0; slot < total_slots; ++slot) {
     if (replies.empty()) {
       ++result.empty_slots;
+      result.slot_outcomes.push_back(SlotOutcome::kEmpty);
     } else {
       gen2::TagStateMachine* winner = nullptr;
       if (replies.size() == 1) {
         winner = replies.front().first;
+        result.slot_outcomes.push_back(SlotOutcome::kSingle);
       } else {
         ++result.collisions;
+        result.slot_outcomes.push_back(SlotOutcome::kCollision);
         if (rng.uniform() < config_.capture_probability) {
           // Capture effect: one (random) reply survives the collision.
           winner = replies[static_cast<std::size_t>(rng.uniform_int(
@@ -83,22 +120,67 @@ InventoryResult InventoryRound::run(std::span<gen2::TagStateMachine*> tags,
   return result;
 }
 
+namespace {
+
+/// Fold one round's tallies into the running total (EPC union).
+void accumulate_round(InventoryResult& total, const InventoryResult& round) {
+  total.slots_used += round.slots_used;
+  total.collisions += round.collisions;
+  total.empty_slots += round.empty_slots;
+  total.crc_failures += round.crc_failures;
+  total.slot_outcomes.insert(total.slot_outcomes.end(),
+                             round.slot_outcomes.begin(),
+                             round.slot_outcomes.end());
+  total.q_trajectory.insert(total.q_trajectory.end(),
+                            round.q_trajectory.begin(),
+                            round.q_trajectory.end());
+  for (const auto& epc : round.epcs) {
+    if (std::find(total.epcs.begin(), total.epcs.end(), epc) ==
+        total.epcs.end()) {
+      total.epcs.push_back(epc);
+    }
+  }
+}
+
+}  // namespace
+
 InventoryResult InventoryRound::run_until_complete(
     std::span<gen2::TagStateMachine*> tags, std::size_t max_rounds,
     Rng& rng) const {
   InventoryResult total;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    const auto r = run(tags, rng);
-    total.slots_used += r.slots_used;
-    total.collisions += r.collisions;
-    total.empty_slots += r.empty_slots;
-    total.crc_failures += r.crc_failures;
-    for (const auto& epc : r.epcs) {
-      if (std::find(total.epcs.begin(), total.epcs.end(), epc) ==
-          total.epcs.end()) {
-        total.epcs.push_back(epc);
+    accumulate_round(total, run(tags, rng));
+    if (total.epcs.size() >= tags.size()) break;
+  }
+  return total;
+}
+
+InventoryResult InventoryRound::run_adaptive(
+    std::span<gen2::TagStateMachine*> tags, std::size_t max_rounds, Rng& rng,
+    AdaptiveQConfig adapt) const {
+  adapt.initial_q = static_cast<double>(config_.q);
+  AdaptiveQ controller(adapt);
+  InventoryResult total;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const auto q_used = controller.q();
+    const auto r = run_with_q(tags, q_used, rng);
+    // Feed the slot outcomes to the Q-algorithm in slot order, and stop as
+    // soon as the issued Q changes: a real reader would have sent
+    // QueryAdjust there and restarted the frame, so the remaining slots of
+    // this round never inform Qfp. (Without this cutoff, the dead empty
+    // slots that trail a collision-heavy frame — collided tags stay muted
+    // until the next Query — drive Qfp to 0 and starve dense populations.)
+    for (const auto outcome : r.slot_outcomes) {
+      if (outcome == SlotOutcome::kCollision) {
+        controller.on_collision();
+      } else if (outcome == SlotOutcome::kEmpty) {
+        controller.on_empty();
+      } else {
+        controller.on_single();
       }
+      if (controller.q() != q_used) break;
     }
+    accumulate_round(total, r);
     if (total.epcs.size() >= tags.size()) break;
   }
   return total;

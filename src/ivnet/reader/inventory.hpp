@@ -18,16 +18,26 @@
 namespace ivnet {
 
 struct InventoryConfig {
-  std::uint8_t q = 2;          ///< slot-count exponent for the round
+  std::uint8_t q = 2;          ///< slot-count exponent, clamped to 0..15
   gen2::Session session = gen2::Session::kS0;
-  std::size_t max_slots = 128; ///< hard stop
+  /// Hard stop on slots per round; 0 means "derive from Q" (2^q plus one
+  /// slot per tag of collision slack).
+  std::size_t max_slots = 128;
   bool use_select = false;     ///< address one sensor before the round
   std::uint8_t select_pointer = 0;
   gen2::Bits select_mask;      ///< EPC prefix of the wanted sensor
   /// Probability that exactly one of >=2 colliding replies is captured
-  /// anyway (near/far effect). 0 = every collision is lost.
+  /// anyway (near/far effect). 0 = every collision is lost. Values outside
+  /// [0,1] (or NaN) are clamped into range on construction.
   double capture_probability = 0.0;
+
+  /// The config as InventoryRound will actually run it: q clamped to 15,
+  /// capture_probability clamped into [0,1] (NaN -> 0).
+  InventoryConfig normalized() const;
 };
+
+/// What the reader observed in one ALOHA slot.
+enum class SlotOutcome : std::uint8_t { kEmpty, kSingle, kCollision };
 
 struct InventoryResult {
   std::vector<gen2::Bits> epcs;  ///< successfully ACKed EPC payloads
@@ -35,6 +45,37 @@ struct InventoryResult {
   std::size_t collisions = 0;
   std::size_t empty_slots = 0;
   std::size_t crc_failures = 0;
+  /// Per-slot outcomes in slot order (run_adaptive feeds these to the
+  /// Q-algorithm one at a time, QueryAdjust-style).
+  std::vector<SlotOutcome> slot_outcomes;
+  /// Q used by each round (length = rounds run; adaptive runs vary it).
+  std::vector<std::uint8_t> q_trajectory;
+};
+
+/// The Gen2 Q-algorithm (ISO 18000-63 Annex): a floating-point Qfp nudged up
+/// by collisions and down by empty slots; the issued Q is round(Qfp). This
+/// is how the reader adapts the frame size to an unknown tag population.
+struct AdaptiveQConfig {
+  double initial_q = 4.0;
+  double step = 0.35;      ///< Qfp increment per collision / decrement per empty
+  std::uint8_t q_min = 0;
+  std::uint8_t q_max = 15;
+};
+
+class AdaptiveQ {
+ public:
+  explicit AdaptiveQ(AdaptiveQConfig config = {});
+
+  void on_collision();  ///< Qfp += step
+  void on_empty();      ///< Qfp -= step
+  void on_single() {}   ///< a clean read leaves Qfp alone
+
+  std::uint8_t q() const;
+  double qfp() const { return qfp_; }
+
+ private:
+  AdaptiveQConfig config_;
+  double qfp_;
 };
 
 /// Executes inventory rounds against in-field tags (bit-level abstraction:
@@ -54,10 +95,21 @@ class InventoryRound {
   InventoryResult run_until_complete(std::span<gen2::TagStateMachine*> tags,
                                      std::size_t max_rounds, Rng& rng) const;
 
+  /// Like run_until_complete, but the Q of each round comes from the Gen2
+  /// Q-algorithm fed with the previous round's collision/empty-slot counts
+  /// (config().q seeds Qfp). The per-round Q is recorded in q_trajectory.
+  InventoryResult run_adaptive(std::span<gen2::TagStateMachine*> tags,
+                               std::size_t max_rounds, Rng& rng,
+                               AdaptiveQConfig adapt = {}) const;
+
  private:
   /// Extract the 96-bit EPC payload from a PC+EPC+CRC16 frame; empty if the
   /// CRC fails.
   static gen2::Bits extract_epc(const gen2::Bits& frame);
+
+  /// One round at an explicit Q (the adaptive path varies it per round).
+  InventoryResult run_with_q(std::span<gen2::TagStateMachine*> tags,
+                             std::uint8_t q, Rng& rng) const;
 
   InventoryConfig config_;
 };

@@ -216,7 +216,10 @@ SessionReport run_gen2_session(const Scenario& scenario, const TagConfig& tag,
   for (std::size_t i = 0; i < charge_result.harvest.vdc.size(); i += stride) {
     report.tag_rail_trace.push_back(charge_result.harvest.vdc[i]);
   }
-  if (!report.powered) return report;
+  if (!report.powered) {
+    report.recovery.failed_stage = SessionStage::kCharge;
+    return report;
+  }
 
   // --- Query phase: modulate the command onto the CIB envelope, timed so
   // the command rides an envelope peak (the flatness constraint keeps the
@@ -250,16 +253,6 @@ SessionReport run_gen2_session(const Scenario& scenario, const TagConfig& tag,
     command_env[i] = pie_env[i] * cib_window[i];
   }
 
-  const auto downlink = device.receive_downlink(command_env, fs);
-  report.command_decoded = downlink.command_decoded;
-  if (!downlink.reply.has_value()) return report;
-  report.replied = true;
-  report.rn16 = device.state_machine().last_rn16();
-
-  // --- Backscatter phase: the tag modulates the out-of-band reader's CW.
-  const auto reflection =
-      device.backscatter_reflection(*downlink.reply, fs);
-
   const OobReader reader(config.reader);
   const LinkBudget reader_budget(antennas::mt242025(), tag.antenna,
                                  scenario.stack);
@@ -275,15 +268,39 @@ SessionReport run_gen2_session(const Scenario& scenario, const TagConfig& tag,
                        dbm_to_watts(calib::kTxPowerDbm) *
                        from_db(calib::kTxGainDbi) * from_db(7.0) * friis_1m;
 
-  report.reader_report =
-      reader.decode(reflection, round_trip_voltage_gain, jam_w, tag.blf_hz,
-                    downlink.reply->size(), rng);
-  report.preamble_correlation = report.reader_report.preamble_correlation;
-  report.rn16_decoded =
-      report.reader_report.success &&
-      report.reader_report.bits.size() == downlink.reply->size() &&
-      std::equal(report.reader_report.bits.begin(),
-                 report.reader_report.bits.end(), downlink.reply->begin());
+  // --- Query + backscatter, with per-command recovery: each attempt rides
+  // a later recurrence of the envelope peak. Retries re-roll the reader's
+  // noise; the tag-side PIE decode is deterministic per envelope.
+  const RecoveryPolicy& policy = config.recovery;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++report.recovery.retries;
+      report.recovery.backoff_total_s += policy.backoff_for_attempt(attempt - 1);
+    }
+    const auto downlink = device.receive_downlink(command_env, fs);
+    report.command_decoded = downlink.command_decoded;
+    if (!downlink.reply.has_value()) {
+      ++report.recovery.timeouts;
+      continue;
+    }
+    report.replied = true;
+    report.rn16 = device.state_machine().last_rn16();
+
+    // Backscatter: the tag modulates the out-of-band reader's CW.
+    const auto reflection =
+        device.backscatter_reflection(*downlink.reply, fs);
+    report.reader_report =
+        reader.decode(reflection, round_trip_voltage_gain, jam_w, tag.blf_hz,
+                      downlink.reply->size(), rng);
+    report.preamble_correlation = report.reader_report.preamble_correlation;
+    report.rn16_decoded =
+        report.reader_report.success &&
+        report.reader_report.bits.size() == downlink.reply->size() &&
+        std::equal(report.reader_report.bits.begin(),
+                   report.reader_report.bits.end(), downlink.reply->begin());
+    if (report.rn16_decoded) break;
+  }
+  if (!report.rn16_decoded) report.recovery.failed_stage = SessionStage::kQuery;
   return report;
 }
 

@@ -11,6 +11,7 @@
 
 #include "ivnet/cib/frequency_plan.hpp"
 #include "ivnet/common/stats.hpp"
+#include "ivnet/impair/recovery.hpp"
 #include "ivnet/reader/oob_reader.hpp"
 #include "ivnet/rf/channel.hpp"
 #include "ivnet/sim/scenario.hpp"
@@ -78,6 +79,11 @@ struct SessionConfig {
   double charge_time_s = 1.0;     ///< CW charging before the query
   double charge_rate_hz = 20e3;   ///< envelope rate for the charging phase
   std::uint8_t query_q = 0;       ///< Gen2 Q (0: tag replies immediately)
+  /// Per-command retries/backoff: each attempt re-rides a later envelope
+  /// peak. Retries help the reader's noisy RN16 decode; the tag-side PIE
+  /// decode is deterministic per envelope, so a command the envelope cannot
+  /// carry honestly stays undecodable.
+  RecoveryPolicy recovery;
 };
 
 /// Outcome of a full charge -> query -> RN16 -> decode session.
@@ -92,6 +98,7 @@ struct SessionReport {
   double peak_envelope_v = 0.0;    ///< peak harvester input voltage
   OobDecodeReport reader_report;
   std::vector<double> tag_rail_trace;  ///< rail during charging (decimated)
+  RecoveryStats recovery;              ///< retries / timeouts / failure stage
 };
 
 /// Run one full session against a fresh blind channel draw.

@@ -136,7 +136,10 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   const auto charge_env = envelope(rx_charge);
   const auto charge_result = device.receive_downlink(charge_env, fs);
   report.powered = charge_result.powered;
-  if (!report.powered) return report;
+  if (!report.powered) {
+    report.recovery.failed_stage = SessionStage::kCharge;
+    return report;
+  }
 
   std::size_t peak_idx = 0;
   for (std::size_t i = 0; i < charge_env.size(); ++i) {
@@ -157,10 +160,12 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   const double jam_w = jamming_power_w(plan, config_.radio.drive_dbm);
 
   // One reader command per CIB period, each riding the recurring peak
-  // (Sec. 3.6(a): cyclic operation).
+  // (Sec. 3.6(a): cyclic operation). A failed attempt retries on a later
+  // period per the recovery policy, with exponential backoff between tries.
+  const RecoveryPolicy& policy = config_.recovery;
   int command_index = 0;
-  auto exchange = [&](const gen2::Bits& command,
-                      bool with_preamble) -> std::optional<gen2::Bits> {
+  auto send_once = [&](const gen2::Bits& command,
+                       bool with_preamble) -> std::optional<gen2::Bits> {
     const auto pie_env =
         gen2::pie_encode(command, config_.pie, fs, with_preamble);
     const double duration = static_cast<double>(pie_env.size()) / fs;
@@ -171,7 +176,11 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
     const auto waves = tx_.radios().transmit(pie_env, t_start);
     const auto rx = receive(channel, waves, plan.offsets_hz());
     const auto downlink = device.receive_downlink(envelope(rx), fs);
-    if (!downlink.reply.has_value()) return std::nullopt;
+    if (!downlink.reply.has_value()) {
+      // Silent tag: the reader burns its full reply window before retrying.
+      ++report.recovery.timeouts;
+      return std::nullopt;
+    }
     const auto reflection =
         device.backscatter_reflection(*downlink.reply, fs);
     const auto decoded =
@@ -180,24 +189,47 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
     if (!decoded.success) return std::nullopt;
     return decoded.bits;
   };
+  auto exchange = [&](SessionStage stage, const gen2::Bits& command,
+                      bool with_preamble) -> std::optional<gen2::Bits> {
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++report.recovery.retries;
+        report.recovery.backoff_total_s +=
+            policy.backoff_for_attempt(attempt - 1);
+      }
+      if (auto bits = send_once(command, with_preamble)) return bits;
+    }
+    report.recovery.failed_stage = stage;
+    return std::nullopt;
+  };
 
   // 1. Query -> RN16.
-  const auto rn16_bits = exchange(gen2::QueryCommand{.q = 0}.encode(), true);
-  if (!rn16_bits || rn16_bits->size() != 16) return report;
+  const auto rn16_bits = exchange(SessionStage::kQuery,
+                                  gen2::QueryCommand{.q = 0}.encode(), true);
+  if (!rn16_bits || rn16_bits->size() != 16) {
+    report.recovery.failed_stage = SessionStage::kQuery;
+    return report;
+  }
   const auto rn16 =
       static_cast<std::uint16_t>(gen2::read_bits(*rn16_bits, 0, 16));
 
   // 2. ACK -> EPC frame (CRC-checked).
-  const auto epc_bits =
-      exchange(gen2::AckCommand{.rn16 = rn16}.encode(), false);
-  if (!epc_bits || !gen2::check_crc16(*epc_bits)) return report;
+  const auto epc_bits = exchange(SessionStage::kAck,
+                                 gen2::AckCommand{.rn16 = rn16}.encode(),
+                                 false);
+  if (!epc_bits || !gen2::check_crc16(*epc_bits)) {
+    report.recovery.failed_stage = SessionStage::kAck;
+    return report;
+  }
   report.inventoried = true;
 
   // 3. Req_RN -> access handle.
-  const auto handle_bits =
-      exchange(gen2::ReqRnCommand{.rn16 = rn16}.encode(), false);
+  const auto handle_bits = exchange(SessionStage::kReqRn,
+                                    gen2::ReqRnCommand{.rn16 = rn16}.encode(),
+                                    false);
   if (!handle_bits || handle_bits->size() != 32 ||
       !gen2::check_crc16(*handle_bits)) {
+    report.recovery.failed_stage = SessionStage::kReqRn;
     return report;
   }
   report.handle =
@@ -206,6 +238,7 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
 
   // 4. Read USER[0..3] -> sensor words.
   const auto read_bits_reply = exchange(
+      SessionStage::kRead,
       gen2::ReadCommand{.bank = gen2::MemBank::kUser,
                         .word_addr = 0,
                         .word_count = 4,
@@ -215,7 +248,10 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   if (!read_bits_reply) return report;
   report.words =
       gen2::parse_read_reply(*read_bits_reply, 4, report.handle);
-  if (report.words.size() != 4) return report;
+  if (report.words.size() != 4) {
+    report.recovery.failed_stage = SessionStage::kRead;
+    return report;
+  }
   report.read_ok = true;
   report.temperature_c = GastricSensor::decode_temperature(report.words[0]);
   report.ph = GastricSensor::decode_ph(report.words[1]);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "ivnet/cib/transmitter.hpp"
+#include "ivnet/impair/recovery.hpp"
 #include "ivnet/reader/oob_reader.hpp"
 #include "ivnet/sim/experiment.hpp"
 
@@ -28,6 +29,10 @@ struct WaveformSessionConfig {
   /// CW charging window preceding the query. Full-rate samples; keep this
   /// to O(100 ms) unless you want multi-second runs.
   double charge_time_s = 0.25;
+  /// Per-command retry/backoff/timeout used by run_sensor_read. Each retry
+  /// rides a later CIB period (the paper's reader re-queries on the next
+  /// envelope peak).
+  RecoveryPolicy recovery;
 };
 
 struct WaveformSessionReport {
@@ -55,6 +60,7 @@ struct SensorReadReport {
   double ph = 0.0;                   ///< decoded from word 1
   double pressure_mmhg = 0.0;        ///< decoded from word 2
   int commands_sent = 0;
+  RecoveryStats recovery;            ///< retries / timeouts / failure stage
 };
 
 /// Runs sample-accurate sessions. One instance owns the radio array (PLL

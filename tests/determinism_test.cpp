@@ -4,12 +4,15 @@
 // per-trial counter-derived Rng streams plus order-fixed reductions.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "ivnet/cib/frequency_plan.hpp"
 #include "ivnet/cib/objective.hpp"
 #include "ivnet/cib/optimizer.hpp"
 #include "ivnet/common/parallel.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/impair/waterfall.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/planner.hpp"
 
@@ -120,6 +123,79 @@ TEST_F(DeterminismTest, PlannerBitwiseAcrossPoolSizes) {
         << "pool size " << threads;
     EXPECT_EQ(plan.energy_per_period_j, reference.energy_per_period_j)
         << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, ImpairedSessionBitwiseAcrossPoolSizes) {
+  // One impaired link session is single-threaded, but its rng contract
+  // (exactly one draw, counter-derived attempt streams) must make it
+  // insensitive to the global pool size anyway.
+  ImpairedLinkConfig config;
+  config.snr_db = 10.0;
+  config.impair.bursts = {.rate_hz = 200.0, .mean_duration_s = 5e-4,
+                          .depth_db = 40.0};
+  config.recovery = RecoveryPolicy::retries(2);
+  auto run = [&] {
+    Rng rng(444);
+    return run_impaired_link_session(config, rng);
+  };
+  set_parallel_threads(1);
+  const auto reference = run();
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    const auto report = run();
+    EXPECT_EQ(report.success, reference.success) << "pool size " << threads;
+    EXPECT_EQ(report.rn16, reference.rn16) << "pool size " << threads;
+    EXPECT_EQ(report.epc, reference.epc) << "pool size " << threads;
+    EXPECT_EQ(report.commands_sent, reference.commands_sent)
+        << "pool size " << threads;
+    EXPECT_EQ(report.recovery.retries, reference.recovery.retries)
+        << "pool size " << threads;
+    EXPECT_EQ(report.recovery.timeouts, reference.recovery.timeouts)
+        << "pool size " << threads;
+    EXPECT_EQ(report.last_correlation, reference.last_correlation)
+        << "pool size " << threads;
+    EXPECT_EQ(report.elapsed_s, reference.elapsed_s)
+        << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, WaterfallJsonByteEqualAcrossPoolSizes) {
+  WaterfallConfig config;
+  config.snr_points_db = {30.0, 12.0, 4.0};
+  config.trials_per_point = 24;
+  config.link.recovery = RecoveryPolicy::retries(1);
+  auto run = [&] {
+    Rng rng(888);
+    return waterfall_json(run_ber_waterfall(config, rng));
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  EXPECT_FALSE(reference.empty());
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, SessionMatrixJsonByteEqualAcrossPoolSizes) {
+  MatrixConfig config;
+  config.media = {{"water", 2.0}, {"muscle", 6.0}};
+  config.snr_points_db = {30.0, 8.0};
+  config.antenna_counts = {1, 3};
+  config.trials_per_cell = 12;
+  config.link.recovery = RecoveryPolicy::retries(1);
+  config.link.impair.bursts = {.rate_hz = 100.0, .mean_duration_s = 5e-4,
+                               .depth_db = 40.0};
+  auto run = [&] {
+    Rng rng(1234);
+    return matrix_json(run_session_matrix(config, rng));
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
   }
 }
 

@@ -3,15 +3,18 @@
 // against garbage, and state-machine safety under random command streams.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "ivnet/common/rng.hpp"
 #include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/crc.hpp"
 #include "ivnet/gen2/fm0.hpp"
 #include "ivnet/gen2/memory.hpp"
 #include "ivnet/gen2/miller.hpp"
 #include "ivnet/gen2/pie.hpp"
 #include "ivnet/gen2/tag_sm.hpp"
+#include "ivnet/impair/impairment.hpp"
 
 namespace ivnet::gen2 {
 namespace {
@@ -224,6 +227,145 @@ TEST_P(BlfSweep, Fm0RoundTripAtAnyBlf) {
 
 INSTANTIATE_TEST_SUITE_P(Blf, BlfSweep,
                          ::testing::Values(40e3, 160e3, 320e3, 640e3));
+
+// --- Miller fuzz across every subcarrier mode: random payloads round-trip
+// --- and pure noise never clears the correlation gate.
+class MillerModeSweep : public ::testing::TestWithParam<Miller> {};
+
+TEST_P(MillerModeSweep, RandomPayloadsRoundTrip) {
+  const Miller mode = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(mode));
+  for (int k = 0; k < 10; ++k) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 48));
+    const Bits payload = random_bits(n, rng);
+    const auto sig = miller_modulate(mode, payload, 40e3, 1.6e6);
+    const auto decoded = miller_decode(mode, sig, n, 40e3, 1.6e6);
+    ASSERT_TRUE(decoded.valid) << "m=" << static_cast<int>(mode)
+                               << " len " << n;
+    EXPECT_EQ(decoded.bits, payload);
+  }
+}
+
+TEST_P(MillerModeSweep, DecoderRejectsNoise) {
+  const Miller mode = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(mode));
+  int accepted = 0;
+  for (int k = 0; k < 20; ++k) {
+    std::vector<double> junk(4000 + 200 * k);
+    for (auto& v : junk) v = rng.normal(0.0, 1.0);
+    accepted += miller_decode(mode, junk, 16, 40e3, 1.6e6, 0.8).valid;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MillerModeSweep,
+                         ::testing::Values(Miller::kM2, Miller::kM4,
+                                           Miller::kM8));
+
+// --- Impairment-layer fuzz: frames piped through random impairment chains
+// --- must never crash the decoders, and a frame whose CRC was flipped
+// --- before modulation must never come back as a CRC-valid frame.
+ImpairmentConfig random_impairments(Rng& rng) {
+  // Mild regime: the uplink impairments act multiplicatively on a real
+  // envelope, so CFO/phase noise must stay small relative to the ~2 ms
+  // frame for the correlation gate to keep accepting frames.
+  ImpairmentConfig impair;
+  impair.snr_db = rng.uniform(12.0, 40.0);  // above the decoder cliff
+  impair.cfo_hz = rng.uniform(0.0, 10.0);
+  impair.phase_noise_linewidth_hz = rng.uniform(0.0, 2.0);
+  impair.clock_drift_ppm = rng.uniform(0.0, 10.0);
+  if (rng.uniform() < 0.3) {
+    impair.bursts = {.rate_hz = rng.uniform(0.0, 50.0),
+                     .mean_duration_s = 1e-4,
+                     .depth_db = 40.0};
+  }
+  return impair;
+}
+
+TEST(ImpairmentFuzz, FlippedCrcFramesNeverDecodeValid) {
+  // Build payload+CRC16 frames, flip one random bit, modulate (FM0 or any
+  // Miller mode), impair, decode. Whenever the correlation gate accepts the
+  // waveform, the recovered bits must still fail check_crc16.
+  Rng rng(4242);
+  int decoded_frames = 0;
+  for (int k = 0; k < 60; ++k) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(8, 64));
+    Bits frame = random_bits(n, rng);
+    append_bits(frame, crc16(frame), 16);
+    const auto flip = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    frame[flip] = !frame[flip];
+
+    const ImpairmentChain chain(random_impairments(rng));
+    Bits recovered;
+    bool valid = false;
+    if (k % 4 == 0) {
+      const auto sig = fm0_modulate(frame, 40e3, 1.6e6);
+      const auto dirty = chain.apply(sig, 1.6e6, rng);
+      const auto decoded = fm0_decode(dirty, frame.size(), 40e3, 1.6e6);
+      valid = decoded.valid;
+      recovered = decoded.bits;
+    } else {
+      const auto mode = std::array{Miller::kM2, Miller::kM4,
+                                   Miller::kM8}[k % 3];
+      const auto sig = miller_modulate(mode, frame, 40e3, 1.6e6);
+      const auto dirty = chain.apply(sig, 1.6e6, rng);
+      const auto decoded =
+          miller_decode(mode, dirty, frame.size(), 40e3, 1.6e6);
+      valid = decoded.valid;
+      recovered = decoded.bits;
+    }
+    if (valid) {
+      ++decoded_frames;
+      EXPECT_FALSE(check_crc16(recovered)) << "trial " << k;
+    }
+  }
+  // The impairments are mild enough that the gate accepts most frames —
+  // otherwise this test would be vacuous.
+  EXPECT_GT(decoded_frames, 30);
+}
+
+TEST(ImpairmentFuzz, ChainNeverCrashesOnDegenerateInputs) {
+  Rng rng(99);
+  for (int k = 0; k < 40; ++k) {
+    ImpairmentConfig impair = random_impairments(rng);
+    impair.snr_db = rng.uniform(-20.0, 20.0);  // including hopeless SNRs
+    const ImpairmentChain chain(impair);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 3000));
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.normal(0.0, 1.0);
+    const auto y = chain.apply(x, 1.6e6, rng);
+    EXPECT_EQ(y.size(), x.size());
+    for (const auto v : y) EXPECT_TRUE(std::isfinite(v));
+    // Feeding the impaired junk to every decoder must be safe too.
+    (void)fm0_decode(y, 16, 40e3, 1.6e6);
+    (void)miller_decode(Miller::kM8, y, 16, 40e3, 1.6e6);
+    (void)pie_decode(y, 1.6e6);
+  }
+}
+
+TEST(ImpairmentFuzz, GarbledQueryNeverParsesWithBadCrc) {
+  // PIE-encode a Query, corrupt random half-bit spans of the envelope, and
+  // re-decode: any bit vector the PIE decoder emits either parses as a
+  // CRC-valid Query (unchanged payload) or fails QueryCommand::parse.
+  Rng rng(31337);
+  const auto query = QueryCommand{.q = 4}.encode();
+  const PieTiming timing;
+  const auto clean = pie_encode(query, timing, 800e3, true);
+  for (int k = 0; k < 100; ++k) {
+    auto env = clean;
+    const auto span = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(env.size() - span)));
+    for (std::size_t i = at; i < at + span; ++i) env[i] = 1.0 - env[i];
+    const auto decoded = pie_decode(env, 800e3);
+    if (!decoded.valid || decoded.bits.empty()) continue;
+    const auto parsed = QueryCommand::parse(decoded.bits);
+    if (parsed.has_value()) {
+      EXPECT_EQ(decoded.bits, query) << "trial " << k;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ivnet::gen2

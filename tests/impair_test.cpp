@@ -1,0 +1,345 @@
+// Unit tests for the impairment-injection layer (ivnet/impair): each
+// primitive alone, the composed chain, the brownout gate, the recovery
+// policy, and the impaired link session's determinism contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/impair/impairment.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/impair/waterfall.hpp"
+
+namespace ivnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> sine(std::size_t n, double cycles_per_sample) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(kTwoPi * cycles_per_sample * static_cast<double>(i));
+  }
+  return x;
+}
+
+TEST(Awgn, HitsRequestedSnr) {
+  auto x = sine(20000, 0.05);
+  const double signal_power = signal_mean_power(x);
+  auto noisy = x;
+  Rng rng(1);
+  apply_awgn(noisy, 10.0, rng);
+  double noise_power = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    noise_power += (noisy[i] - x[i]) * (noisy[i] - x[i]);
+  }
+  noise_power /= static_cast<double>(x.size());
+  const double measured_snr_db = 10.0 * std::log10(signal_power / noise_power);
+  EXPECT_NEAR(measured_snr_db, 10.0, 0.5);
+}
+
+TEST(Awgn, InfiniteSnrIsNoOp) {
+  auto x = sine(256, 0.1);
+  const auto clean = x;
+  Rng rng(2);
+  apply_awgn(x, kInf, rng);
+  EXPECT_EQ(x, clean);
+}
+
+TEST(Awgn, AllZeroInputStaysZero) {
+  std::vector<double> x(64, 0.0);
+  Rng rng(3);
+  apply_awgn(x, 10.0, rng);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CarrierOffset, ZeroOffsetIsNoOp) {
+  auto x = sine(128, 0.07);
+  const auto clean = x;
+  apply_carrier_offset(x, 1e6, 0.0, 0.0);
+  EXPECT_EQ(x, clean);
+}
+
+TEST(CarrierOffset, BeatsSignalDown) {
+  // A DC stream through a CFO beat becomes the beat tone itself.
+  std::vector<double> x(1000, 1.0);
+  apply_carrier_offset(x, 1e6, 1e3, 0.0);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);           // cos(0)
+  EXPECT_NEAR(x[250], 0.0, 1e-2);          // quarter beat period
+  EXPECT_NEAR(x[500], -1.0, 1e-2);         // half beat period
+}
+
+TEST(PhaseNoise, ZeroLinewidthIsNoOp) {
+  auto x = sine(128, 0.07);
+  const auto clean = x;
+  Rng rng(4);
+  apply_phase_noise(x, 1e6, 0.0, rng);
+  EXPECT_EQ(x, clean);
+}
+
+TEST(PhaseNoise, DecorrelatesWithLinewidth) {
+  // Wider linewidth must destroy more correlation against the clean signal.
+  const auto clean = sine(8000, 0.05);
+  auto corr_at = [&](double linewidth) {
+    auto x = clean;
+    Rng rng(5);
+    apply_phase_noise(x, 1e6, linewidth, rng);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * clean[i];
+    return dot / static_cast<double>(x.size());
+  };
+  EXPECT_GT(corr_at(10.0), corr_at(10e3));
+}
+
+TEST(ClockDrift, ZeroDriftReturnsInput) {
+  const auto x = sine(512, 0.03);
+  EXPECT_EQ(apply_clock_drift(x, 0.0), x);
+}
+
+TEST(ClockDrift, DriftShiftsContentButKeepsLength) {
+  const auto x = sine(100000, 0.01);
+  const auto fast = apply_clock_drift(x, 100.0);   // +100 ppm
+  const auto slow = apply_clock_drift(x, -100.0);  // -100 ppm
+  // The record length is the receiver's; only the content stretches.
+  EXPECT_EQ(fast.size(), x.size());
+  EXPECT_EQ(slow.size(), x.size());
+  // 100 ppm shifts the read position by 9 samples at i = 90000: the fast
+  // clock reads x[i * 1.0001], the slow one x[i * 0.9999] — both integral
+  // grid points there, so the interpolation is (near-)exact.
+  EXPECT_NEAR(fast[90000], x[90000 + 9], 1e-6);
+  EXPECT_NEAR(slow[90000], x[90000 - 9], 1e-6);
+  // A fast clock runs off the end of the record and holds the last sample.
+  EXPECT_DOUBLE_EQ(fast.back(), x.back());
+}
+
+TEST(Bursts, RateZeroIsNoOp) {
+  auto x = sine(256, 0.1);
+  const auto clean = x;
+  Rng rng(6);
+  std::size_t erased = 0;
+  EXPECT_EQ(apply_burst_erasures(x, 1e6, BurstErasureConfig{}, rng, &erased),
+            0u);
+  EXPECT_EQ(x, clean);
+  EXPECT_EQ(erased, 0u);
+}
+
+TEST(Bursts, AttenuatesInsideBurstsOnly) {
+  std::vector<double> x(100000, 1.0);
+  Rng rng(7);
+  std::size_t erased = 0;
+  BurstErasureConfig config{.rate_hz = 50.0, .mean_duration_s = 1e-3,
+                            .depth_db = 40.0};
+  const auto bursts = apply_burst_erasures(x, 1e6, config, rng, &erased);
+  ASSERT_GT(bursts, 0u);
+  ASSERT_GT(erased, 0u);
+  std::size_t attenuated = 0;
+  for (double v : x) {
+    if (v < 0.5) {
+      ++attenuated;
+      // depth_db is a power depth: amplitude inside = 10^(-40/20/... ) etc.
+      EXPECT_NEAR(v, from_db(-config.depth_db / 2.0), 1e-9);
+    } else {
+      EXPECT_EQ(v, 1.0);
+    }
+  }
+  EXPECT_EQ(attenuated, erased);
+}
+
+TEST(Brownout, DisabledGateIsAllOn) {
+  std::vector<double> supply(100, 0.0);
+  const auto gate = brownout_gate(supply, 800e3, BrownoutConfig{});
+  for (bool g : gate) EXPECT_TRUE(g);
+}
+
+TEST(Brownout, ChargesThenSagsUnderFade) {
+  BrownoutConfig config;
+  config.enabled = true;
+  ImpairmentTrace trace;
+  BrownoutState rail;
+  // 2 ms of strong carrier charges the rail from cold...
+  std::vector<double> charge(1600, 1.0);
+  const auto g1 = brownout_gate(charge, 800e3, config, &trace, &rail);
+  EXPECT_FALSE(g1.front());  // cold rail: chip starts unpowered
+  EXPECT_TRUE(g1.back());
+  EXPECT_TRUE(rail.on);
+  EXPECT_GT(rail.doubler.vc2_v, config.recover_v);
+
+  // ...then a 375 us fade in the middle of a reply sags it below dropout.
+  std::vector<double> reply(600, 1.0);
+  for (std::size_t i = 200; i < 500; ++i) reply[i] = 0.01;
+  ImpairmentTrace fade_trace;
+  BrownoutState reply_rail = rail;
+  const auto g2 = brownout_gate(reply, 800e3, config, &fade_trace, &reply_rail);
+  EXPECT_TRUE(g2.front());  // carried-over state: starts powered
+  EXPECT_TRUE(fade_trace.browned_out);
+  EXPECT_GT(fade_trace.brownout_samples, 0u);
+  std::size_t off = 0;
+  for (bool g : g2) off += !g;
+  EXPECT_EQ(off, fade_trace.brownout_samples);
+
+  // Without the fade the carried-over rail never drops.
+  std::vector<double> steady(600, 1.0);
+  ImpairmentTrace steady_trace;
+  BrownoutState steady_rail = rail;
+  const auto g3 =
+      brownout_gate(steady, 800e3, config, &steady_trace, &steady_rail);
+  EXPECT_FALSE(steady_trace.browned_out);
+  for (bool g : g3) EXPECT_TRUE(g);
+}
+
+TEST(Brownout, ApplyZeroesGatedSamples) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  apply_brownout(x, {true, false, true, false});
+  EXPECT_EQ(x, (std::vector<double>{1.0, 0.0, 3.0, 0.0}));
+}
+
+TEST(Chain, DefaultConfigIsClean) {
+  const auto x = sine(512, 0.05);
+  Rng rng(8);
+  const ImpairmentChain chain{ImpairmentConfig{}};
+  ImpairmentTrace trace;
+  const auto y = chain.apply(x, 1e6, rng, &trace);
+  EXPECT_EQ(y, x);
+  EXPECT_EQ(trace.bursts, 0u);
+  EXPECT_EQ(trace.erased_samples, 0u);
+}
+
+TEST(Chain, DeterministicForSameSeed) {
+  ImpairmentConfig config;
+  config.snr_db = 10.0;
+  config.cfo_hz = 500.0;
+  config.phase_noise_linewidth_hz = 100.0;
+  config.clock_drift_ppm = 40.0;
+  config.bursts = {.rate_hz = 200.0, .mean_duration_s = 1e-4,
+                   .depth_db = 30.0};
+  const ImpairmentChain chain(config);
+  const auto x = sine(4096, 0.02);
+  Rng a(99), b(99);
+  EXPECT_EQ(chain.apply(x, 1e6, a), chain.apply(x, 1e6, b));
+}
+
+TEST(RecoveryPolicy, BackoffIsExponential) {
+  RecoveryPolicy policy;
+  policy.initial_backoff_s = 1e-3;
+  policy.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_for_attempt(0), 1e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_for_attempt(1), 2e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_for_attempt(3), 8e-3);
+  EXPECT_EQ(RecoveryPolicy::retries(3).max_attempts, 4);
+}
+
+TEST(LinkSession, CleanChannelSucceeds) {
+  ImpairedLinkConfig config;
+  Rng rng(42);
+  const auto report = run_impaired_link_session(config, rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.epc.size(), 96u);
+  EXPECT_EQ(report.recovery.retries, 0);
+  EXPECT_EQ(report.recovery.failed_stage, SessionStage::kNone);
+  EXPECT_GT(report.last_correlation, 0.9);
+}
+
+TEST(LinkSession, ConsumesExactlyOneRngDraw) {
+  // The documented contract: the session takes ONE draw (its stream base),
+  // independent of the dialogue's outcome or length.
+  for (double snr : {30.0, -5.0}) {
+    ImpairedLinkConfig config;
+    config.snr_db = snr;
+    config.recovery = RecoveryPolicy::retries(2);
+    Rng used(1234), reference(1234);
+    (void)run_impaired_link_session(config, used);
+    (void)reference();
+    EXPECT_EQ(used(), reference()) << "snr " << snr;
+  }
+}
+
+TEST(LinkSession, DeterministicForSameSeed) {
+  ImpairedLinkConfig config;
+  config.snr_db = 7.0;
+  config.impair.bursts = {.rate_hz = 100.0, .mean_duration_s = 5e-4,
+                          .depth_db = 40.0};
+  config.recovery = RecoveryPolicy::retries(3);
+  Rng a(5), b(5);
+  const auto ra = run_impaired_link_session(config, a);
+  const auto rb = run_impaired_link_session(config, b);
+  EXPECT_EQ(ra.success, rb.success);
+  EXPECT_EQ(ra.rn16, rb.rn16);
+  EXPECT_EQ(ra.commands_sent, rb.commands_sent);
+  EXPECT_EQ(ra.recovery.retries, rb.recovery.retries);
+  EXPECT_EQ(ra.recovery.q_trajectory, rb.recovery.q_trajectory);
+  EXPECT_DOUBLE_EQ(ra.elapsed_s, rb.elapsed_s);
+}
+
+TEST(LinkSession, ChargeFailureReportsStage) {
+  ImpairedLinkConfig config;
+  config.medium_loss_db = 12.0;  // amplitude 0.25 < 0.35 threshold
+  Rng rng(6);
+  const auto report = run_impaired_link_session(config, rng);
+  EXPECT_FALSE(report.powered);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.recovery.failed_stage, SessionStage::kCharge);
+}
+
+TEST(LinkSession, AntennasRescueChargeFailure) {
+  ImpairedLinkConfig config;
+  config.medium_loss_db = 12.0;
+  config.num_antennas = 10;  // sqrt(10) * 0.25 = 0.79 > threshold
+  Rng rng(6);
+  const auto report = run_impaired_link_session(config, rng);
+  EXPECT_TRUE(report.powered);
+  EXPECT_TRUE(report.success);
+}
+
+TEST(LinkSession, MillerUplinksWork) {
+  for (auto m : {gen2::Miller::kM2, gen2::Miller::kM4, gen2::Miller::kM8}) {
+    ImpairedLinkConfig config;
+    config.uplink = m;
+    Rng rng(77);
+    const auto report = run_impaired_link_session(config, rng);
+    EXPECT_TRUE(report.success) << "miller " << static_cast<int>(m);
+  }
+}
+
+TEST(LinkSession, StageStringsAreStable) {
+  EXPECT_EQ(to_string(SessionStage::kNone), "none");
+  EXPECT_EQ(to_string(SessionStage::kCharge), "charge");
+  EXPECT_EQ(to_string(SessionStage::kQuery), "query");
+  EXPECT_EQ(to_string(SessionStage::kAck), "ack");
+  EXPECT_EQ(to_string(SessionStage::kReqRn), "req_rn");
+  EXPECT_EQ(to_string(SessionStage::kRead), "read");
+}
+
+TEST(Waterfall, JsonEmittersProduceCompleteDocuments) {
+  WaterfallConfig config;
+  config.snr_points_db = {30.0, 0.0};
+  config.trials_per_point = 4;
+  Rng rng(9);
+  const auto points = run_ber_waterfall(config, rng);
+  ASSERT_EQ(points.size(), 2u);
+  const auto json = waterfall_json(points);
+  EXPECT_NE(json.find("\"waterfall\""), std::string::npos);
+  EXPECT_NE(json.find("\"session_success_rate\""), std::string::npos);
+
+  DepthSweepConfig depth;
+  depth.depths_m = {0.02, 0.08};
+  depth.trials_per_point = 4;
+  Rng rng2(10);
+  const auto curve = run_success_vs_depth(depth, rng2);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_GT(curve[1].medium_loss_db, curve[0].medium_loss_db);
+  EXPECT_NE(depth_sweep_json(curve).find("\"depth_sweep\""),
+            std::string::npos);
+}
+
+TEST(Waterfall, LossGrowsWithDepth) {
+  const auto muscle = media::muscle();
+  const double shallow = medium_loss_at_depth_db(muscle, 915e6, 0.02);
+  const double deep = medium_loss_at_depth_db(muscle, 915e6, 0.10);
+  EXPECT_GT(deep, shallow);
+  EXPECT_GT(shallow, 0.0);  // boundary loss alone is already positive
+}
+
+}  // namespace
+}  // namespace ivnet

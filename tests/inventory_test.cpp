@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -169,6 +170,99 @@ TEST_P(InventoryComplete, AllTagsFound) {
 
 INSTANTIATE_TEST_SUITE_P(Populations, InventoryComplete,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u));
+
+// --- Config validation regressions: out-of-range inputs are clamped, never
+// --- trusted.
+
+TEST(InventoryConfigValidation, OversizedQIsClampedTo15) {
+  InventoryConfig cfg;
+  cfg.q = 42;
+  EXPECT_EQ(cfg.normalized().q, 15);
+  // And the round itself runs on the normalized value without issue.
+  auto tags = make_tags(1);
+  auto ptrs = raw(tags);
+  cfg.max_slots = 4;  // don't actually walk 2^15 slots
+  Rng rng(11);
+  const auto result = InventoryRound(cfg).run(ptrs, rng);
+  EXPECT_LE(result.slots_used, 4u);
+}
+
+TEST(InventoryConfigValidation, CaptureProbabilityClampedIntoUnitRange) {
+  InventoryConfig cfg;
+  cfg.capture_probability = 1.7;
+  EXPECT_EQ(cfg.normalized().capture_probability, 1.0);
+  cfg.capture_probability = -0.3;
+  EXPECT_EQ(cfg.normalized().capture_probability, 0.0);
+  cfg.capture_probability = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(cfg.normalized().capture_probability, 0.0);
+  cfg.capture_probability = 0.25;
+  EXPECT_EQ(cfg.normalized().capture_probability, 0.25);
+}
+
+TEST(InventoryConfigValidation, NanCaptureProbabilityStillResolvesTags) {
+  InventoryConfig cfg;
+  cfg.q = 3;
+  cfg.capture_probability = std::numeric_limits<double>::quiet_NaN();
+  auto tags = make_tags(4);
+  auto ptrs = raw(tags);
+  Rng rng(12);
+  const auto result = InventoryRound(cfg).run_until_complete(ptrs, 20, rng);
+  EXPECT_EQ(result.epcs.size(), 4u);
+}
+
+TEST(InventoryConfigValidation, ZeroMaxSlotsDerivesBudgetFromQ) {
+  InventoryConfig cfg;
+  cfg.q = 2;
+  cfg.max_slots = 0;  // derive: 2^q + population slack
+  auto tags = make_tags(6);
+  auto ptrs = raw(tags);
+  Rng rng(13);
+  const auto result = InventoryRound(cfg).run(ptrs, rng);
+  EXPECT_GT(result.slots_used, 0u);
+  EXPECT_LE(result.slots_used, (1u << cfg.q) + 6u);
+}
+
+// --- The Gen2 Q-algorithm: unit behavior plus the adaptive inventory loop.
+
+TEST(AdaptiveQAlgorithm, CollisionsRaiseAndEmptiesLowerQ) {
+  AdaptiveQ adapt(AdaptiveQConfig{.initial_q = 4.0, .step = 0.5});
+  EXPECT_EQ(adapt.q(), 4);
+  adapt.on_collision();
+  EXPECT_DOUBLE_EQ(adapt.qfp(), 4.5);
+  adapt.on_collision();
+  EXPECT_EQ(adapt.q(), 5);
+  adapt.on_single();  // clean reads leave Qfp alone
+  EXPECT_DOUBLE_EQ(adapt.qfp(), 5.0);
+  for (int k = 0; k < 4; ++k) adapt.on_empty();
+  EXPECT_EQ(adapt.q(), 3);
+}
+
+TEST(AdaptiveQAlgorithm, QfpIsClampedAtBothEnds) {
+  AdaptiveQ low(AdaptiveQConfig{.initial_q = 0.0, .step = 1.0, .q_min = 0});
+  for (int k = 0; k < 5; ++k) low.on_empty();
+  EXPECT_EQ(low.q(), 0);
+  AdaptiveQ high(AdaptiveQConfig{.initial_q = 15.0, .step = 1.0,
+                                 .q_max = 15});
+  for (int k = 0; k < 5; ++k) high.on_collision();
+  EXPECT_EQ(high.q(), 15);
+}
+
+TEST(AdaptiveQAlgorithm, RunAdaptiveFindsAllTagsAndRecordsTrajectory) {
+  auto tags = make_tags(8);
+  auto ptrs = raw(tags);
+  InventoryConfig cfg;
+  cfg.q = 1;  // deliberately undersized: the Q-algorithm must grow it
+  Rng rng(14);
+  const auto result = InventoryRound(cfg).run_adaptive(
+      ptrs, 30, rng, AdaptiveQConfig{.initial_q = 1.0, .step = 0.5});
+  EXPECT_EQ(result.epcs.size(), 8u);
+  ASSERT_FALSE(result.q_trajectory.empty());
+  EXPECT_EQ(result.q_trajectory.front(), 1);
+  // The early collisions must have pushed Q above its undersized start.
+  const auto peak = *std::max_element(result.q_trajectory.begin(),
+                                      result.q_trajectory.end());
+  EXPECT_GT(peak, 1);
+}
 
 }  // namespace
 }  // namespace ivnet

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# The CI pipeline, runnable locally: default build + full test suite, the
+# same suite under AddressSanitizer and ThreadSanitizer (the determinism
+# tests exercise 1/2/8-thread pools, so TSan sees real contention), and —
+# when gcovr is installed — a line-coverage floor on the protocol and
+# impairment layers (src/ivnet/gen2, src/ivnet/impair).
+#
+# Knobs:
+#   JOBS                  parallel build jobs      (default: nproc)
+#   COVERAGE_LINE_FLOOR   gcovr --fail-under-line  (default: 80)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+COVERAGE_LINE_FLOOR="${COVERAGE_LINE_FLOOR:-80}"
+
+build_and_test() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+echo "=== ci: default build ==="
+build_and_test build-ci
+
+echo "=== ci: AddressSanitizer ==="
+build_and_test build-asan -DIVNET_SANITIZE=address
+
+echo "=== ci: ThreadSanitizer ==="
+build_and_test build-tsan -DIVNET_SANITIZE=thread
+
+# Coverage is optional: the floor only gates where the tool exists. The
+# container used for growth runs has no gcovr and must still pass CI.
+if command -v gcovr >/dev/null 2>&1; then
+  echo "=== ci: coverage (line floor ${COVERAGE_LINE_FLOOR}%) ==="
+  build_and_test build-cov -DIVNET_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+  gcovr --root . \
+        --filter 'src/ivnet/gen2/' \
+        --filter 'src/ivnet/impair/' \
+        --object-directory build-cov \
+        --fail-under-line "${COVERAGE_LINE_FLOOR}" \
+        --print-summary
+else
+  echo "=== ci: gcovr not installed, skipping coverage gate ==="
+fi
+
+echo "=== ci: all stages passed ==="
