@@ -1,6 +1,8 @@
 // Machine-readable perf tracking: times the hot kernels and writes
 // BENCH_kernels.json (ns/op for envelope, peak, expected-peak at
-// N = 2/5/10) so the perf trajectory is comparable across PRs.
+// N = 2/5/10) so the perf trajectory is comparable across PRs. Also
+// emits a metrics-registry snapshot (<output>_metrics.json) covering
+// the instrumented kernels' counters.
 //
 //   ./bench_kernels_json [output-path]    (default: BENCH_kernels.json)
 #include <chrono>
@@ -13,6 +15,7 @@
 #include "ivnet/common/json.hpp"
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/common/rng.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace {
 
@@ -102,6 +105,33 @@ int main(int argc, char** argv) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  // One instrumented pass AFTER the timing loops (which ran against the
+  // null sink, measuring the production configuration): snapshot the
+  // kernels' telemetry next to the timing file.
+  {
+    obs::MetricsRegistry registry;
+    obs::install(obs::Sink{.metrics = &registry});
+    for (const int n : {2, 5, 10}) {
+      const auto plan = full.truncated(static_cast<std::size_t>(n));
+      Rng trial_rng(2);
+      g_sink = expected_peak_amplitude(plan.offsets_hz(), kTrials, trial_rng);
+    }
+    obs::install_null();
+    const std::string metrics_path =
+        (out_path.size() > 5 && out_path.rfind(".json") == out_path.size() - 5
+             ? out_path.substr(0, out_path.size() - 5)
+             : out_path) +
+        "_metrics.json";
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf != nullptr) {
+      const std::string snap = registry.snapshot_json();
+      std::fwrite(snap.data(), 1, snap.size(), mf);
+      std::fputc('\n', mf);
+      std::fclose(mf);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
+  }
   for (const auto& r : results) {
     std::printf("  %-14s n=%-2d %12.0f ns/op\n", r.name.c_str(), r.n,
                 r.ns_per_op);

@@ -4,10 +4,16 @@
 // is the experiment the impair/ layer exists for: quantifying how far the
 // clean-channel link budget degrades before the Gen2 session collapses,
 // and how much of the loss is recoverable in the reader alone.
+//
+// Runs with the metrics registry installed and writes the aggregate
+// counters (sessions, retries, decode outcomes, brownouts, ...) to
+// BENCH_x13_metrics.json, or to the path in argv[1].
 #include <cstdio>
+#include <string>
 
 #include "ivnet/impair/link_session.hpp"
 #include "ivnet/impair/waterfall.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace {
 
@@ -100,11 +106,26 @@ void print_depth_curve() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      argc > 1 ? argv[1] : "BENCH_x13_metrics.json";
+  obs::MetricsRegistry registry;
+  obs::install(obs::Sink{.metrics = &registry});
+
   std::printf("=== X13: impairment waterfall and reader recovery ===\n\n");
   print_waterfall();
   print_matrix();
   print_retry_ablation();
   print_depth_curve();
+
+  obs::install_null();
+  std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+  if (f != nullptr) {
+    const std::string snap = registry.snapshot_json();
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 namespace {
@@ -158,6 +159,11 @@ SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
                                  double t_max_s) {
   const std::size_t n = offsets_hz.size();
   const std::size_t steps = default_steps(offsets_hz, t_max_s);
+  // Hooks stay OUTSIDE the parallel trial body: the envelope kernel is the
+  // repo's hottest loop and must not pay per-sample telemetry.
+  obs::ScopedSpan span("cib.peak_samples", "cib");
+  obs::count("cib.peak_samples.calls");
+  obs::count("cib.peak_samples.trials", trials);
   const std::uint64_t base = rng();
   std::vector<double> peaks(trials);
   parallel_for(trials, [&](std::size_t k) {
@@ -169,7 +175,10 @@ SampleSet peak_amplitude_samples(std::span<const double> offsets_hz,
                              t_max_s, steps);
   });
   SampleSet set;
-  for (double p : peaks) set.add(p);
+  for (double p : peaks) {
+    set.add(p);
+    obs::observe("cib.peak_amplitude", p);
+  }
   return set;
 }
 
@@ -192,6 +201,9 @@ double expected_conduction_fraction(std::span<const double> offsets_hz,
                                     double t_max_s) {
   const std::size_t n = offsets_hz.size();
   const std::size_t steps = default_steps(offsets_hz, t_max_s);
+  obs::ScopedSpan span("cib.conduction", "cib");
+  obs::count("cib.conduction.calls");
+  obs::count("cib.conduction.trials", trials);
   const double threshold_sq = threshold_amplitude * threshold_amplitude;
   const std::uint64_t base = rng();
   std::vector<double> fractions(trials);

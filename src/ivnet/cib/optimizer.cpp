@@ -8,6 +8,7 @@
 
 #include "ivnet/cib/objective.hpp"
 #include "ivnet/common/parallel.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 
@@ -68,10 +69,12 @@ double FrequencyOptimizer::score(std::span<const double> offsets_hz) const {
 FrequencyOptimizer::RestartOutcome FrequencyOptimizer::run_restart(
     Rng& rng) const {
   const double limit = config_.constraint.rms_limit_hz();
+  obs::count("cib.opt.restarts");
   RestartOutcome out;
   out.offsets_hz = random_feasible(rng);
   out.score = score(out.offsets_hz);
   out.evaluations = 1;
+  obs::count("cib.opt.evaluations");
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
     // Propose: move one offset by a random step (never the anchored 0th).
@@ -86,18 +89,27 @@ FrequencyOptimizer::RestartOutcome FrequencyOptimizer::run_restart(
                    std::floor(limit * std::sqrt(
                                   static_cast<double>(candidate.size()))));
     std::sort(candidate.begin(), candidate.end());
-    if (!feasible(candidate)) continue;
+    if (!feasible(candidate)) {
+      obs::count("cib.opt.rejected_infeasible");
+      continue;
+    }
     const double cand_score = score(candidate);
     ++out.evaluations;
+    obs::count("cib.opt.evaluations");
     if (cand_score > out.score) {
       out.offsets_hz = std::move(candidate);
       out.score = cand_score;
+      obs::count("cib.opt.accepted");
+    } else {
+      obs::count("cib.opt.rejected_score");
     }
   }
   return out;
 }
 
 OptimizerResult FrequencyOptimizer::optimize(Rng& rng) {
+  obs::ScopedSpan span("cib.optimize", "cib");
+  obs::count("cib.optimize.calls");
   // Each restart hill-climbs from its own counter-derived proposal stream,
   // so restarts are independent and can run concurrently; the winner is
   // picked in restart order. `rng` is consumed exactly once (the stream
@@ -135,6 +147,7 @@ OptimizerResult FrequencyOptimizer::optimize(Rng& rng) {
                     ? 0.0
                     : std::sqrt(sum_sq /
                                 static_cast<double>(best.offsets_hz.size()));
+  obs::gauge_set("cib.opt.best_score", best.score);
   return best;
 }
 

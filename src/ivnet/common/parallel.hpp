@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "ivnet/obs/obs.hpp"
+
 namespace ivnet {
 
 /// Number of threads the pool uses (IVNET_THREADS if set and valid, else
@@ -56,6 +58,12 @@ bool in_pool_worker();
 /// the canonical pattern is writing to out[i].
 template <typename F>
 void parallel_for(std::size_t n, F&& f) {
+  // Structural telemetry: invocation and item counts depend only on the
+  // call graph, never on the pool size, so they are safe in byte-stable
+  // snapshots (dispatch counts would not be — the inline path skips the
+  // pool entirely at 1 thread).
+  obs::count("parallel.for.calls");
+  obs::count("parallel.for.items", n);
   const std::size_t chunks =
       (n + detail::kParallelGrain - 1) / detail::kParallelGrain;
   if (chunks <= 1 || parallel_thread_count() <= 1 || detail::in_pool_worker()) {

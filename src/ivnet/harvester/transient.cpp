@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ivnet/common/units.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 
@@ -53,6 +54,19 @@ TransientResult simulate_doubler_waveform(const DoublerConfig& config,
       v_in.empty() ? 0.0
                    : static_cast<double>(on_count) /
                          static_cast<double>(v_in.size());
+  obs::count("doubler.runs");
+  obs::count("doubler.samples", v_in.size());
+  if (obs::metrics() != nullptr && !r.v_out.empty()) {
+    obs::observe("doubler.final_v", r.final_v_out);
+    if (r.final_v_out > 0.0) {
+      // Charge-time proxy: first sample whose rail clears half the final
+      // value. Only scanned when a registry is installed.
+      const double half = 0.5 * r.final_v_out;
+      std::size_t idx = 0;
+      while (idx < r.v_out.size() && r.v_out[idx] < half) ++idx;
+      obs::observe("doubler.t_half_s", static_cast<double>(idx) * dt);
+    }
+  }
   return r;
 }
 

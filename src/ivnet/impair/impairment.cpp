@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ivnet/common/units.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 namespace {
@@ -160,7 +161,10 @@ std::vector<bool> brownout_gate(std::span<const double> supply_envelope_v,
   // Cold rails start off (the chip must charge before it can modulate);
   // a carried-over state resumes wherever the last record left the chip.
   bool on = state != nullptr && state->on;
+  const bool started_on = on;
   std::size_t off_samples = 0;
+  std::size_t trips = 0;
+  std::ptrdiff_t first_on = -1;  // first off->on envelope sample from cold
   for (std::size_t i = 0; i < gate.size(); ++i) {
     // One envelope sample spans `sub` rail samples; a dip anywhere in the
     // window resets the chip, so judge the window by its minimum.
@@ -168,14 +172,28 @@ std::vector<bool> brownout_gate(std::span<const double> supply_envelope_v,
     for (std::size_t k = 1; k < sub; ++k) {
       v = std::min(v, rail.v_out[i * sub + k]);
     }
-    if (on && v < config.dropout_v) on = false;
-    if (!on && v >= config.recover_v) on = true;
+    if (on && v < config.dropout_v) {
+      on = false;
+      ++trips;
+    }
+    if (!on && v >= config.recover_v) {
+      on = true;
+      ++trips;
+      if (first_on < 0) first_on = static_cast<std::ptrdiff_t>(i);
+    }
     gate[i] = on;
     if (!on) ++off_samples;
   }
   if (trace != nullptr) {
     trace->brownout_samples += off_samples;
     trace->browned_out = trace->browned_out || off_samples > 0;
+  }
+  // Comparator telemetry (simulated quantities — thread-count invariant).
+  if (trips > 0) obs::count("brownout.comparator_trips", trips);
+  if (off_samples > 0) obs::count("brownout.events");
+  if (!started_on && first_on >= 0) {
+    obs::observe("brownout.charge_time_s",
+                 static_cast<double>(first_on) / sample_rate_hz);
   }
   if (state != nullptr) {
     state->doubler = rail.final_state;

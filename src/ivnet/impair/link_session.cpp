@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "ivnet/common/units.hpp"
 #include "ivnet/gen2/fm0.hpp"
 #include "ivnet/gen2/miller.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 namespace {
@@ -25,6 +27,19 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
   LinkSessionReport report;
   const double fs = config.sample_rate_hz;
   const RecoveryPolicy& policy = config.recovery;
+
+  // Session telemetry on every exit path. All recorded quantities are
+  // simulated (elapsed_s, retries, stages) — deterministic for any thread
+  // count, so they may feed byte-stable snapshots.
+  struct SessionTelemetry {
+    LinkSessionReport& r;
+    ~SessionTelemetry() {
+      obs::count("link.sessions");
+      obs::count(r.success ? "link.success" : "link.failed");
+      obs::observe("link.elapsed_s", r.elapsed_s);
+      record_recovery("link", r.recovery);
+    }
+  } telemetry{report};
 
   // One draw from the caller; every attempt gets a counter-keyed stream so
   // runs differing only in SNR draw the SAME noise shapes (common random
@@ -63,6 +78,7 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
                             std::sqrt(static_cast<double>(std::max<std::size_t>(
                                 1, config.num_antennas))) *
                             db_to_amplitude(-config.medium_loss_db);
+  const double charge_t0 = report.elapsed_s;
   report.elapsed_s += config.charge_time_s;
   BrownoutState rail;  // capacitor charge carries across the whole session
   if (config.impair.brownout.enabled) {
@@ -77,8 +93,10 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
   } else {
     report.powered = charge_amp >= config.power_up_threshold_v;
   }
+  obs::sim_span("charge", "link", charge_t0, report.elapsed_s);
   if (!report.powered) {
     report.recovery.failed_stage = SessionStage::kCharge;
+    obs::sim_instant("brownout", "link", report.elapsed_s);
     return report;
   }
   tag.power_up();
@@ -108,14 +126,22 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
       const auto d = gen2::fm0_decode(rx, reply.size(), config.blf_hz, fs,
                                       config.min_correlation);
       report.last_correlation = d.preamble_correlation;
-      if (!d.valid || d.bits.size() != reply.size()) return std::nullopt;
+      if (!d.valid || d.bits.size() != reply.size()) {
+        obs::count("link.decode.fail");
+        return std::nullopt;
+      }
+      obs::count("link.decode.ok");
       return d.bits;
     }
     const auto d = gen2::miller_decode(config.uplink, rx, reply.size(),
                                        config.blf_hz, fs,
                                        config.min_correlation);
     report.last_correlation = d.preamble_correlation;
-    if (!d.valid || d.bits.size() != reply.size()) return std::nullopt;
+    if (!d.valid || d.bits.size() != reply.size()) {
+      obs::count("link.decode.fail");
+      return std::nullopt;
+    }
+    obs::count("link.decode.ok");
     return d.bits;
   };
 
@@ -124,12 +150,20 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
   auto exchange = [&](SessionStage stage, bool is_query,
                       const gen2::Bits& fixed_command, bool with_preamble)
       -> std::optional<gen2::Bits> {
+    const double stage_t0 = report.elapsed_s;
     for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
       if (attempt > 0) {
         const double backoff = policy.backoff_for_attempt(attempt - 1);
         report.recovery.backoff_total_s += backoff;
         report.elapsed_s += backoff;
         ++report.recovery.retries;
+        if (obs::metrics() != nullptr) {
+          std::string key = "link.retry.";
+          key += to_string(stage);
+          obs::count(key);
+          obs::observe("link.backoff_s", backoff);
+        }
+        obs::sim_instant("retry", "link", report.elapsed_s);
       }
       Rng att_rng = next_rng();
       const std::uint8_t q = adaptive.q();
@@ -169,12 +203,14 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
       }
       if (auto bits = demodulate(*reply, att_rng)) {
         if (is_query) adaptive.on_single();
+        obs::sim_span(to_string(stage), "link", stage_t0, report.elapsed_s);
         return bits;
       }
       // Garbled reply: indistinguishable from a collision at the reader.
       if (is_query) adaptive.on_collision();
     }
     report.recovery.failed_stage = stage;
+    obs::sim_span(to_string(stage), "link", stage_t0, report.elapsed_s);
     return std::nullopt;
   };
 

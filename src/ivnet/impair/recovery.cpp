@@ -1,0 +1,34 @@
+#include "ivnet/impair/recovery.hpp"
+
+#include <string>
+
+#include "ivnet/obs/obs.hpp"
+
+namespace ivnet {
+
+void record_recovery(std::string_view scope, const RecoveryStats& stats) {
+  if (obs::metrics() == nullptr) return;
+  std::string prefix = "recovery.";
+  prefix += scope;
+  obs::count(prefix + ".sessions");
+  if (stats.retries > 0) {
+    obs::count(prefix + ".retries", static_cast<std::uint64_t>(stats.retries));
+  }
+  if (stats.timeouts > 0) {
+    obs::count(prefix + ".timeouts",
+               static_cast<std::uint64_t>(stats.timeouts));
+  }
+  if (stats.backoff_total_s > 0.0) {
+    obs::observe(prefix + ".backoff_s", stats.backoff_total_s);
+  }
+  if (stats.failed_stage != SessionStage::kNone) {
+    std::string stage_key = prefix + ".failed.";
+    stage_key += to_string(stats.failed_stage);
+    obs::count(stage_key);
+  }
+  for (const std::uint8_t q : stats.q_trajectory) {
+    obs::observe(prefix + ".q", static_cast<double>(q));
+  }
+}
+
+}  // namespace ivnet

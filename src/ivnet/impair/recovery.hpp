@@ -72,4 +72,10 @@ struct RecoveryStats {
   std::vector<std::uint8_t> q_trajectory;
 };
 
+/// Record a finished session's recovery stats into the installed telemetry
+/// sink (obs/obs.hpp) under `scope` — counters for retries/timeouts and the
+/// failed stage, histograms for backoff and Q trajectory. No-op with a null
+/// sink. Lives here (not in obs/) so the obs layer stays session-agnostic.
+void record_recovery(std::string_view scope, const RecoveryStats& stats);
+
 }  // namespace ivnet

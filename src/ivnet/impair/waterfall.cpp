@@ -6,6 +6,7 @@
 #include "ivnet/common/json.hpp"
 #include "ivnet/gen2/fm0.hpp"
 #include "ivnet/gen2/miller.hpp"
+#include "ivnet/obs/obs.hpp"
 
 namespace ivnet {
 namespace {
@@ -100,24 +101,34 @@ double medium_loss_at_depth_db(const Medium& medium, double freq_hz,
 
 std::vector<WaterfallPoint> run_ber_waterfall(const WaterfallConfig& config,
                                               Rng& rng) {
+  obs::ScopedSpan sweep_span("waterfall.sweep", "impair");
+  obs::count("waterfall.sweeps");
+  obs::count("waterfall.points", config.snr_points_db.size());
   const std::uint64_t base = rng();
   const std::size_t trials = config.trials_per_point;
   std::vector<WaterfallPoint> points;
   points.reserve(config.snr_points_db.size());
+  std::size_t point_index = 0;
   for (const double snr_db : config.snr_points_db) {
     ImpairedLinkConfig link = config.link;
     link.snr_db = snr_db;
     // Streams keyed by trial index only: every SNR point replays the same
     // noise shapes at its own power (common random numbers). Even indices
     // feed the BER probe, odd ones the full session.
+    const std::size_t track_base = point_index * trials;
     const Tally total = parallel_reduce<Tally>(
         trials, Tally{},
         [&](std::size_t t) {
+          // A unique sim-trace track per (point, trial): the exported trace
+          // orders by (track, seq), so it is byte-stable for any pool size.
+          obs::ScopedTrack track(
+              static_cast<std::uint32_t>(track_base + t));
           Tally tt = ber_trial(link, config.payload_bits,
                                Rng::stream(base, 2 * t));
           return combine(tt, session_trial(link, Rng::stream(base, 2 * t + 1)));
         },
         combine);
+    ++point_index;
     WaterfallPoint p;
     p.snr_db = snr_db;
     p.trials = trials;
@@ -135,11 +146,14 @@ std::vector<WaterfallPoint> run_ber_waterfall(const WaterfallConfig& config,
 
 std::vector<MatrixCell> run_session_matrix(const MatrixConfig& config,
                                            Rng& rng) {
+  obs::ScopedSpan sweep_span("matrix.sweep", "impair");
+  obs::count("matrix.sweeps");
   const std::uint64_t base = rng();
   const std::size_t trials = config.trials_per_cell;
   std::vector<MatrixCell> cells;
   cells.reserve(config.media.size() * config.snr_points_db.size() *
                 config.antenna_counts.size());
+  std::size_t cell_index = 0;
   for (const auto& medium : config.media) {
     for (const double snr_db : config.snr_points_db) {
       for (const std::size_t antennas : config.antenna_counts) {
@@ -147,14 +161,18 @@ std::vector<MatrixCell> run_session_matrix(const MatrixConfig& config,
         link.medium_loss_db = medium.loss_db;
         link.snr_db = snr_db;
         link.num_antennas = antennas;
+        const std::size_t track_base = cell_index * trials;
         const Tally total = parallel_reduce<Tally>(
             trials, Tally{},
             [&](std::size_t t) {
               // Trial-keyed streams shared by every cell: the whole matrix
               // replays the same noise realizations per trial slot.
+              obs::ScopedTrack track(
+                  static_cast<std::uint32_t>(track_base + t));
               return session_trial(link, Rng::stream(base, t));
             },
             combine);
+        ++cell_index;
         MatrixCell cell;
         cell.medium = medium.name;
         cell.medium_loss_db = medium.loss_db;
@@ -176,18 +194,26 @@ std::vector<MatrixCell> run_session_matrix(const MatrixConfig& config,
 
 std::vector<DepthPoint> run_success_vs_depth(const DepthSweepConfig& config,
                                              Rng& rng) {
+  obs::ScopedSpan sweep_span("depth.sweep", "impair");
+  obs::count("depth.sweeps");
   const std::uint64_t base = rng();
   const std::size_t trials = config.trials_per_point;
   std::vector<DepthPoint> points;
   points.reserve(config.depths_m.size());
+  std::size_t point_index = 0;
   for (const double depth_m : config.depths_m) {
     ImpairedLinkConfig link = config.link;
     link.medium_loss_db =
         medium_loss_at_depth_db(config.medium, config.freq_hz, depth_m);
+    const std::size_t track_base = point_index * trials;
     const Tally total = parallel_reduce<Tally>(
         trials, Tally{},
-        [&](std::size_t t) { return session_trial(link, Rng::stream(base, t)); },
+        [&](std::size_t t) {
+          obs::ScopedTrack track(static_cast<std::uint32_t>(track_base + t));
+          return session_trial(link, Rng::stream(base, t));
+        },
         combine);
+    ++point_index;
     DepthPoint p;
     p.depth_m = depth_m;
     p.medium_loss_db = link.medium_loss_db;

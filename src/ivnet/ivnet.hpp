@@ -12,6 +12,11 @@
 #include "ivnet/common/stats.hpp"
 #include "ivnet/common/units.hpp"
 
+// Observability: metrics registry, structured tracer, sink facade.
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/obs/trace.hpp"
+
 // Signals and media.
 #include "ivnet/media/layered.hpp"
 #include "ivnet/media/medium.hpp"

@@ -1,0 +1,281 @@
+#include "ivnet/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "ivnet/common/json.hpp"
+
+namespace ivnet::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Walk the cumulative counts to the bucket holding rank q*count, then
+  // interpolate linearly inside it. The first bucket's lower edge is the
+  // observed min and the overflow bucket's upper edge is the observed max,
+  // so single-bucket histograms still report sensible quantiles.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double cum_before = static_cast<double>(cum);
+    cum += counts_[b];
+    if (static_cast<double>(cum) < rank) continue;
+    const double lo =
+        b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+    const double hi =
+        b == counts_.size() - 1 ? max_ : std::min(max_, bounds_[b]);
+    const double frac =
+        (rank - cum_before) / static_cast<double>(counts_[b]);
+    return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  // 1-2-5 ladder over 10^-6 .. 10^4: microsecond spans to multi-kilo
+  // counts/voltages without per-metric tuning.
+  return exponential_bounds(1e-6, 1e4);
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double hi,
+                                             std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(lo + (hi - lo) * static_cast<double>(i + 1) /
+                              static_cast<double>(n));
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  std::size_t per_decade) {
+  assert(lo > 0.0 && hi > lo);
+  // 1-2-5 for the canonical 3/decade; even decimation otherwise.
+  static constexpr double k125[] = {1.0, 2.0, 5.0};
+  std::vector<double> bounds;
+  const int lo_exp = static_cast<int>(std::floor(std::log10(lo) + 1e-9));
+  const int hi_exp = static_cast<int>(std::ceil(std::log10(hi) - 1e-9));
+  for (int e = lo_exp; e < hi_exp; ++e) {
+    for (std::size_t k = 0; k < per_decade; ++k) {
+      const double mantissa =
+          per_decade == 3
+              ? k125[k]
+              : std::pow(10.0, static_cast<double>(k) /
+                                   static_cast<double>(per_decade));
+      const double v = mantissa * std::pow(10.0, e);
+      if (v >= lo && v <= hi) bounds.push_back(v);
+    }
+  }
+  bounds.push_back(hi);
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+StreamingQuantile::StreamingQuantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void StreamingQuantile::observe(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  ++count_;
+
+  // Locate the cell and stretch the extreme markers if needed.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P^2) update, falling back to linear when the
+  // parabola would cross a neighbour.
+  for (int i = 1; i <= 3; ++i) {
+    const double offset = desired_[i] - positions_[i];
+    if (!((offset >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+          (offset <= -1.0 && positions_[i - 1] - positions_[i] < -1.0))) {
+      continue;
+    }
+    const double d = offset >= 1.0 ? 1.0 : -1.0;
+    const double candidate =
+        heights_[i] +
+        d / (positions_[i + 1] - positions_[i - 1]) *
+            ((positions_[i] - positions_[i - 1] + d) *
+                 (heights_[i + 1] - heights_[i]) /
+                 (positions_[i + 1] - positions_[i]) +
+             (positions_[i + 1] - positions_[i] - d) *
+                 (heights_[i] - heights_[i - 1]) /
+                 (positions_[i] - positions_[i - 1]));
+    if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+      heights_[i] = candidate;
+    } else {
+      const int j = d > 0.0 ? i + 1 : i - 1;
+      heights_[i] += d * (heights_[j] - heights_[i]) /
+                     (positions_[j] - positions_[i]);
+    }
+    positions_[i] += d;
+  }
+}
+
+double StreamingQuantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile on the sorted prefix.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    return sorted[lo] + (rank - static_cast<double>(lo)) *
+                            (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  std::vector<double> b = bounds.empty()
+                              ? Histogram::default_bounds()
+                              : std::vector<double>(bounds.begin(), bounds.end());
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(b)))
+              .first->second;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name).value(static_cast<std::size_t>(c->value()));
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.field("count", static_cast<std::size_t>(h->count()));
+    if (h->count() > 0) {
+      w.field("min", h->min());
+      w.field("max", h->max());
+      w.field("p50", h->quantile(0.50));
+      w.field("p90", h->quantile(0.90));
+      w.field("p99", h->quantile(0.99));
+    }
+    // Only non-empty buckets: snapshots stay compact and adding ladder
+    // rungs later cannot silently reshape every export.
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->bounds();
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      w.begin_object();
+      if (b < bounds.size()) {
+        w.field("le", bounds[b]);
+      } else {
+        w.key("le").value("inf");
+      }
+      w.field("count", static_cast<std::size_t>(counts[b]));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ivnet::obs

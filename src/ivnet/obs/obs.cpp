@@ -1,0 +1,18 @@
+#include "ivnet/obs/obs.hpp"
+
+namespace ivnet::obs {
+namespace detail {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<Tracer*> g_tracer{nullptr};
+
+}  // namespace detail
+
+void install(Sink sink) {
+  detail::g_metrics.store(sink.metrics, std::memory_order_release);
+  detail::g_tracer.store(sink.tracer, std::memory_order_release);
+}
+
+void install_null() { install(Sink{}); }
+
+}  // namespace ivnet::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ivnet/obs/obs.hpp"
+
 namespace ivnet {
 
 InventoryConfig InventoryConfig::normalized() const {
@@ -47,6 +49,8 @@ InventoryResult InventoryRound::run_with_q(
     std::span<gen2::TagStateMachine*> tags, std::uint8_t q, Rng& rng) const {
   InventoryResult result;
   result.q_trajectory.push_back(q);
+  obs::count("inventory.rounds");
+  obs::observe("inventory.q_issued", static_cast<double>(q));
 
   if (config_.use_select) {
     gen2::SelectCommand select;
@@ -82,14 +86,17 @@ InventoryResult InventoryRound::run_with_q(
     if (replies.empty()) {
       ++result.empty_slots;
       result.slot_outcomes.push_back(SlotOutcome::kEmpty);
+      obs::count("inventory.slots.empty");
     } else {
       gen2::TagStateMachine* winner = nullptr;
       if (replies.size() == 1) {
         winner = replies.front().first;
         result.slot_outcomes.push_back(SlotOutcome::kSingle);
+        obs::count("inventory.slots.single");
       } else {
         ++result.collisions;
         result.slot_outcomes.push_back(SlotOutcome::kCollision);
+        obs::count("inventory.slots.collision");
         if (rng.uniform() < config_.capture_probability) {
           // Capture effect: one (random) reply survives the collision.
           winner = replies[static_cast<std::size_t>(rng.uniform_int(
@@ -107,6 +114,7 @@ InventoryResult InventoryRound::run_with_q(
             const auto epc = extract_epc(*epc_frame);
             if (epc.empty()) {
               ++result.crc_failures;
+              obs::count("inventory.crc_failures");
             } else {
               result.epcs.push_back(epc);
             }
@@ -178,7 +186,10 @@ InventoryResult InventoryRound::run_adaptive(
       } else {
         controller.on_single();
       }
-      if (controller.q() != q_used) break;
+      if (controller.q() != q_used) {
+        obs::count("inventory.q_adjust");
+        break;
+      }
     }
     accumulate_round(total, r);
     if (total.epcs.size() >= tags.size()) break;

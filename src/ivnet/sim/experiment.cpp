@@ -8,6 +8,7 @@
 #include "ivnet/cib/objective.hpp"
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
+#include "ivnet/obs/obs.hpp"
 #include "ivnet/signal/envelope.hpp"
 #include "ivnet/sim/calibration.hpp"
 
@@ -71,6 +72,9 @@ std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
                                        const TagConfig& tag,
                                        const FrequencyPlan& plan,
                                        std::size_t trials, Rng& rng) {
+  obs::ScopedSpan span("sim.gain_trials", "sim");
+  obs::count("sim.gain_trials.calls");
+  obs::count("sim.gain_trials.trials", trials);
   const double v1 = single_antenna_voltage(scenario, tag, plan.center_hz());
   const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
   // One blind channel draw per trial, each from its own counter-derived
@@ -179,6 +183,17 @@ double max_water_depth(const TagConfig& tag, const FrequencyPlan& plan,
 SessionReport run_gen2_session(const Scenario& scenario, const TagConfig& tag,
                                const SessionConfig& config, Rng& rng) {
   SessionReport report;
+  obs::ScopedSpan span("sim.gen2_session", "sim");
+  // Session telemetry on every exit path (simulated quantities only).
+  struct SessionTelemetry {
+    SessionReport& r;
+    ~SessionTelemetry() {
+      obs::count("gen2.sessions");
+      obs::count(r.rn16_decoded ? "gen2.success" : "gen2.failed");
+      if (r.powered) obs::count("gen2.powered");
+      record_recovery("gen2", r.recovery);
+    }
+  } telemetry{report};
   const auto& plan = config.plan;
   const double t_period = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
 

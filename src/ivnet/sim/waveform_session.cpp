@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "ivnet/common/units.hpp"
 #include "ivnet/gen2/memory.hpp"
+#include "ivnet/obs/obs.hpp"
 #include "ivnet/signal/envelope.hpp"
 #include "ivnet/sim/calibration.hpp"
 #include "ivnet/tag/sensor.hpp"
@@ -117,6 +119,18 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
                                                   double sensor_time_s,
                                                   Rng& rng) {
   SensorReadReport report;
+  obs::ScopedSpan span("sim.sensor_read", "sim");
+  // Session telemetry on every exit path (simulated quantities only).
+  struct SessionTelemetry {
+    SensorReadReport& r;
+    ~SessionTelemetry() {
+      obs::count("waveform.sessions");
+      obs::count(r.read_ok ? "waveform.read_ok" : "waveform.read_failed");
+      if (r.inventoried) obs::count("waveform.inventoried");
+      if (r.secured) obs::count("waveform.secured");
+      record_recovery("waveform", r.recovery);
+    }
+  } telemetry{report};
   const auto& plan = config_.plan;
   const double fs = config_.radio.sample_rate_hz;
 
@@ -136,7 +150,13 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   const auto charge_env = envelope(rx_charge);
   const auto charge_result = device.receive_downlink(charge_env, fs);
   report.powered = charge_result.powered;
+  // Simulated-time trace track: the session timeline starts at the sensor
+  // publish time, so traces from repeated reads lay out side by side.
+  obs::sim_span("charge", "waveform", sensor_time_s,
+                sensor_time_s + config_.charge_time_s);
   if (!report.powered) {
+    obs::sim_instant("brownout", "waveform",
+                     sensor_time_s + config_.charge_time_s);
     report.recovery.failed_stage = SessionStage::kCharge;
     return report;
   }
@@ -164,6 +184,7 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   // period per the recovery policy, with exponential backoff between tries.
   const RecoveryPolicy& policy = config_.recovery;
   int command_index = 0;
+  SessionStage trace_stage = SessionStage::kQuery;
   auto send_once = [&](const gen2::Bits& command,
                        bool with_preamble) -> std::optional<gen2::Bits> {
     const auto pie_env =
@@ -172,6 +193,9 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
     const double t_start = t_peak +
                            static_cast<double>(++command_index) * t_period -
                            duration / 2.0;
+    obs::sim_span(to_string(trace_stage), "waveform",
+                  sensor_time_s + config_.charge_time_s + t_start,
+                  sensor_time_s + config_.charge_time_s + t_start + duration);
     report.commands_sent = command_index;
     const auto waves = tx_.radios().transmit(pie_env, t_start);
     const auto rx = receive(channel, waves, plan.offsets_hz());
@@ -186,16 +210,29 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
     const auto decoded =
         reader.decode(reflection, round_trip, jam_w, tag.blf_hz,
                       downlink.reply->size(), rng);
-    if (!decoded.success) return std::nullopt;
+    if (!decoded.success) {
+      obs::count("waveform.decode.fail");
+      return std::nullopt;
+    }
+    obs::count("waveform.decode.ok");
     return decoded.bits;
   };
   auto exchange = [&](SessionStage stage, const gen2::Bits& command,
                       bool with_preamble) -> std::optional<gen2::Bits> {
+    trace_stage = stage;
     for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
       if (attempt > 0) {
         ++report.recovery.retries;
         report.recovery.backoff_total_s +=
             policy.backoff_for_attempt(attempt - 1);
+        if (obs::metrics() != nullptr) {
+          std::string key = "waveform.retry.";
+          key += to_string(stage);
+          obs::count(key);
+        }
+        obs::sim_instant("retry", "waveform",
+                         sensor_time_s + config_.charge_time_s +
+                             static_cast<double>(command_index) * t_period);
       }
       if (auto bits = send_once(command, with_preamble)) return bits;
     }

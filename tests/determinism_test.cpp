@@ -13,6 +13,9 @@
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/impair/link_session.hpp"
 #include "ivnet/impair/waterfall.hpp"
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/obs/trace.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/planner.hpp"
 
@@ -190,6 +193,88 @@ TEST_F(DeterminismTest, SessionMatrixJsonByteEqualAcrossPoolSizes) {
   auto run = [&] {
     Rng rng(1234);
     return matrix_json(run_session_matrix(config, rng));
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
+  }
+}
+
+// Observability must obey the same contract as the results themselves: a
+// metrics snapshot and a sim-time trace taken over a fixed workload must be
+// byte-identical for any pool size.  Everything the hooks record for these
+// workloads is structural (call/trial counts) or simulated (elapsed seconds,
+// retries, Q values), never wall-clock or scheduling-order dependent.
+TEST_F(DeterminismTest, MetricsSnapshotByteEqualAcrossPoolSizes) {
+  WaterfallConfig config;
+  config.snr_points_db = {24.0, 10.0};
+  config.trials_per_point = 16;
+  config.link.recovery = RecoveryPolicy::retries(1);
+  config.link.impair.bursts = {.rate_hz = 150.0, .mean_duration_s = 5e-4,
+                               .depth_db = 40.0};
+  auto run = [&] {
+    obs::MetricsRegistry registry;
+    obs::install({.metrics = &registry, .tracer = nullptr});
+    Rng rng(4242);
+    (void)run_ber_waterfall(config, rng);
+    obs::install_null();
+    return registry.snapshot_json();
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  EXPECT_NE(reference.find("\"link.sessions\":32"), std::string::npos)
+      << reference;
+  EXPECT_NE(reference.find("link.elapsed_s"), std::string::npos);
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, SimTraceByteEqualAcrossPoolSizes) {
+  MatrixConfig config;
+  config.media = {{"water", 2.0}, {"muscle", 6.0}};
+  config.snr_points_db = {26.0, 9.0};
+  config.antenna_counts = {1, 4};
+  config.trials_per_cell = 8;
+  config.link.recovery = RecoveryPolicy::retries(1);
+  config.link.impair.bursts = {.rate_hz = 120.0, .mean_duration_s = 5e-4,
+                               .depth_db = 40.0};
+  auto run = [&] {
+    obs::Tracer tracer(obs::TraceClock::kSim);
+    obs::install({.metrics = nullptr, .tracer = &tracer});
+    Rng rng(97);
+    (void)run_session_matrix(config, rng);
+    obs::install_null();
+    return tracer.to_json();
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  EXPECT_NE(reference.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(reference.find("\"name\":\"charge\""), std::string::npos);
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, SnapshotAndTraceTogetherByteEqualAcrossPoolSizes) {
+  // Both sinks live at once, over the depth sweep: the combined artifact pair
+  // is what ci.sh archives, so pin it as a unit.
+  DepthSweepConfig config;
+  config.depths_m = {0.03, 0.08};
+  config.trials_per_point = 12;
+  config.link.recovery = RecoveryPolicy::retries(2);
+  auto run = [&] {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer(obs::TraceClock::kSim);
+    obs::install({.metrics = &registry, .tracer = &tracer});
+    Rng rng(31);
+    (void)run_success_vs_depth(config, rng);
+    obs::install_null();
+    return registry.snapshot_json() + "\n" + tracer.to_json();
   };
   set_parallel_threads(1);
   const std::string reference = run();

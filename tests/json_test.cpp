@@ -14,6 +14,41 @@ TEST(JsonEscape, PassthroughAndSpecials) {
   EXPECT_EQ(json_escape(std::string("ctl\x01") ), "ctl\\u0001");
 }
 
+TEST(JsonEscape, ShortEscapesForAllTwoCharForms) {
+  // RFC 8259 two-character escapes, including backspace and form feed.
+  EXPECT_EQ(json_escape("\b"), "\\b");
+  EXPECT_EQ(json_escape("\f"), "\\f");
+  EXPECT_EQ(json_escape("\n"), "\\n");
+  EXPECT_EQ(json_escape("\r"), "\\r");
+  EXPECT_EQ(json_escape("\t"), "\\t");
+  EXPECT_EQ(json_escape("a\bb\fc"), "a\\bb\\fc");
+}
+
+TEST(JsonEscape, EveryControlCharEscaped) {
+  // All of 0x00..0x1F must come out escaped one way or another; the result
+  // must contain no raw control bytes.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string in(1, static_cast<char>(c));
+    const std::string out = json_escape(in);
+    ASSERT_GE(out.size(), 2u) << "control char " << c << " not escaped";
+    EXPECT_EQ(out[0], '\\') << "control char " << c;
+    for (char byte : out) {
+      EXPECT_GE(static_cast<unsigned char>(byte), 0x20u);
+    }
+  }
+  // Spot-check the \uXXXX form for chars without a short escape.
+  EXPECT_EQ(json_escape(std::string(1, '\x00')), "\\u0000");
+  EXPECT_EQ(json_escape(std::string(1, '\x0b')), "\\u000b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, HighBytesPassThrough) {
+  // UTF-8 continuation bytes (>= 0x80) are not control chars: pass through
+  // so multi-byte characters survive.
+  const std::string utf8 = "\xc3\xa9";  // e-acute
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
 TEST(JsonWriter, EmptyObject) {
   JsonWriter w;
   w.begin_object().end_object();

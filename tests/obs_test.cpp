@@ -1,0 +1,305 @@
+// Tests for ivnet/obs: the metrics registry (counters, gauges, fixed-bucket
+// histograms, P^2 streaming quantiles), the Chrome-trace tracer, and the
+// null-sink hook facade. The concurrency tests are the TSan targets for
+// the registry's thread-safety claim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/obs/trace.hpp"
+
+namespace ivnet::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_EQ(g.value(), -3.25);
+}
+
+TEST(HistogramTest, BucketAssignmentAndMinMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (le is inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 1000.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, QuantileMatchesExactSortWithinBucketResolution) {
+  // Uniform values over [0, 100) against a fine linear ladder: the
+  // interpolated quantile must land within one bucket width of the exact
+  // order statistic.
+  Histogram h(Histogram::linear_bounds(0.0, 100.0, 200));  // 0.5-wide buckets
+  std::vector<double> values;
+  std::uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) /
+           static_cast<double>(1ull << 53) * 100.0;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const double v = next();
+    values.push_back(v);
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(h.quantile(q), exact, 1.0)
+        << "quantile " << q << " off by more than two bucket widths";
+  }
+}
+
+TEST(HistogramTest, QuantileOfSingleObservation) {
+  Histogram h(Histogram::default_bounds());
+  h.observe(3.0);
+  EXPECT_EQ(h.quantile(0.0), 3.0);
+  EXPECT_EQ(h.quantile(0.5), 3.0);
+  EXPECT_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(HistogramTest, ExponentialBoundsAre125Ladder) {
+  const auto b = Histogram::exponential_bounds(1.0, 100.0);
+  const std::vector<double> expected = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+  EXPECT_EQ(b, expected);
+}
+
+TEST(StreamingQuantileTest, ExactBelowFiveObservations) {
+  StreamingQuantile sq(0.5);
+  sq.observe(5.0);
+  sq.observe(1.0);
+  sq.observe(3.0);
+  EXPECT_EQ(sq.estimate(), 3.0);
+}
+
+TEST(StreamingQuantileTest, P2TracksUniformMedian) {
+  StreamingQuantile sq(0.5);
+  std::uint64_t state = 99;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    sq.observe(static_cast<double>(state >> 11) /
+               static_cast<double>(1ull << 53));
+  }
+  EXPECT_EQ(sq.count(), 20000u);
+  EXPECT_NEAR(sq.estimate(), 0.5, 0.02);
+}
+
+TEST(StreamingQuantileTest, P2TracksSkewedP90) {
+  // Exponential-ish skew via -log(u): p90 of Exp(1) is ln(10) ~ 2.3026.
+  StreamingQuantile sq(0.9);
+  std::uint64_t state = 7;
+  for (int i = 0; i < 50000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = (static_cast<double>(state >> 11) + 1.0) /
+                     (static_cast<double>(1ull << 53) + 2.0);
+    sq.observe(-std::log(u));
+  }
+  EXPECT_NEAR(sq.estimate(), std::log(10.0), 0.1);
+}
+
+TEST(MetricsRegistryTest, SameNameSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = reg.histogram("h", std::vector<double>{1.0, 2.0});
+  Histogram& h2 = reg.histogram("h");  // later bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndByteStable) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("zeta").add(2);
+    reg.counter("alpha").add(1);
+    reg.gauge("mid").set(0.5);
+    reg.histogram("lat", std::vector<double>{1.0, 10.0}).observe(3.0);
+    return reg.snapshot_json();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b) << "snapshot must be byte-stable for equal contents";
+  // Lexicographic counter order regardless of creation order.
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+  // Shape: three top-level sections.
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptySnapshotShape) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.snapshot_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, ConcurrentAccessIsSafe) {
+  // TSan target: many threads hitting the same names (lookup + record) and
+  // fresh names (map insertion) at once.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("shared").add();
+        reg.histogram("shared_h").observe(static_cast<double>(i % 17));
+        reg.gauge("g" + std::to_string(t)).set(static_cast<double>(i));
+        if (i % 97 == 0) {
+          reg.counter("c" + std::to_string(t) + "_" + std::to_string(i)).add();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("shared_h").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(NullSink, HooksAreNoOpsWithoutInstall) {
+  install_null();
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(tracer(), nullptr);
+  // Must not crash or allocate registries behind the scenes.
+  count("nope");
+  gauge_set("nope", 1.0);
+  observe("nope", 1.0);
+  sim_span("nope", "t", 0.0, 1.0);
+  sim_instant("nope", "t", 0.0);
+  { ScopedSpan span("nope", "t"); }
+  { ScopedTrack track(7); }
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST(NullSink, InstallRoutesAndUninstallStops) {
+  MetricsRegistry reg;
+  install(Sink{.metrics = &reg});
+  count("hits", 2);
+  install_null();
+  count("hits", 100);  // dropped
+  EXPECT_EQ(reg.counter("hits").value(), 2u);
+}
+
+TEST(TracerTest, WallModeRecordsWallDropsSim) {
+  Tracer t(TraceClock::kWall);
+  t.wall_span("work", "cat", 10.0, 5.0);
+  t.wall_instant("mark", "cat", 12.0);
+  t.sim_span("ignored", "cat", 0.0, 1.0);
+  EXPECT_EQ(t.event_count(), 2u);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  EXPECT_EQ(json.find("ignored"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TracerTest, SimModeRecordsSimDropsWall) {
+  Tracer t(TraceClock::kSim);
+  install(Sink{.tracer = &t});
+  {
+    ScopedTrack track(3);
+    sim_span("charge", "link", 0.0, 0.5);
+    sim_instant("retry", "link", 0.6);
+  }
+  { ScopedSpan span("wall_only", "cat"); }  // dropped: wrong clock
+  install_null();
+  EXPECT_EQ(t.event_count(), 2u);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_EQ(json.find("wall_only"), std::string::npos);
+  // Seconds in, microseconds out.
+  EXPECT_NE(json.find("\"ts\":600000"), std::string::npos);
+}
+
+TEST(TracerTest, SimExportOrdersByTrackThenSeq) {
+  // Emit on tracks out of order; export must sort (track, seq).
+  Tracer t(TraceClock::kSim);
+  install(Sink{.tracer = &t});
+  {
+    ScopedTrack track(2);
+    sim_instant("b0", "x", 5.0);
+  }
+  {
+    ScopedTrack track(1);
+    sim_instant("a0", "x", 9.0);
+    sim_instant("a1", "x", 1.0);  // later seq, earlier sim time: seq wins
+  }
+  install_null();
+  const std::string json = t.to_json();
+  const auto a0 = json.find("a0");
+  const auto a1 = json.find("a1");
+  const auto b0 = json.find("b0");
+  ASSERT_NE(a0, std::string::npos);
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(b0, std::string::npos);
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, b0);
+}
+
+TEST(TracerTest, ScopedTrackRestoresOuterTrack) {
+  Tracer t(TraceClock::kSim);
+  install(Sink{.tracer = &t});
+  {
+    ScopedTrack outer(10);
+    sim_instant("o0", "x", 0.0);
+    {
+      ScopedTrack inner(20);
+      sim_instant("i0", "x", 0.0);
+    }
+    sim_instant("o1", "x", 0.0);  // back on track 10, seq continues
+  }
+  install_null();
+  const std::string json = t.to_json();
+  // Track 10 events sort before track 20, o1 right after o0.
+  const auto o0 = json.find("o0");
+  const auto o1 = json.find("o1");
+  const auto i0 = json.find("i0");
+  EXPECT_LT(o0, o1);
+  EXPECT_LT(o1, i0);
+}
+
+TEST(TracerTest, WallSpanMeasuresNonNegativeDuration) {
+  Tracer t(TraceClock::kWall);
+  install(Sink{.tracer = &t});
+  { ScopedSpan span("tick", "test"); }
+  install_null();
+  ASSERT_EQ(t.event_count(), 1u);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivnet::obs

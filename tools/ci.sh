@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # The CI pipeline, runnable locally: default build + full test suite, the
 # same suite under AddressSanitizer and ThreadSanitizer (the determinism
-# tests exercise 1/2/8-thread pools, so TSan sees real contention), and —
-# when gcovr is installed — a line-coverage floor on the protocol and
-# impairment layers (src/ivnet/gen2, src/ivnet/impair).
+# tests exercise 1/2/8-thread pools, so TSan sees real contention), a small
+# traced sweep whose metrics/trace artifacts are archived and smoke-checked
+# as JSON, and — when gcovr is installed — a line-coverage floor on the
+# protocol, impairment, and observability layers (src/ivnet/gen2,
+# src/ivnet/impair, src/ivnet/obs).
 #
 # Knobs:
 #   JOBS                  parallel build jobs      (default: nproc)
 #   COVERAGE_LINE_FLOOR   gcovr --fail-under-line  (default: 80)
+#   IVNET_COVERAGE        ON forces the coverage stage: missing gcovr is
+#                         then a hard failure instead of a skip
+#   ARTIFACT_DIR          where sweep artifacts land (default: build-ci/artifacts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,17 +36,49 @@ build_and_test build-asan -DIVNET_SANITIZE=address
 echo "=== ci: ThreadSanitizer ==="
 build_and_test build-tsan -DIVNET_SANITIZE=thread
 
-# Coverage is optional: the floor only gates where the tool exists. The
-# container used for growth runs has no gcovr and must still pass CI.
+echo "=== ci: traced sweep artifacts ==="
+ARTIFACT_DIR="${ARTIFACT_DIR:-build-ci/artifacts}"
+mkdir -p "$ARTIFACT_DIR"
+build-ci/tools/ivnet vitals --rounds 4 \
+    --metrics-out "$ARTIFACT_DIR/metrics.json" \
+    --trace-out "$ARTIFACT_DIR/trace.json" --trace-clock sim \
+    > "$ARTIFACT_DIR/vitals.txt"
+for artifact in metrics.json trace.json; do
+  test -s "$ARTIFACT_DIR/$artifact" || {
+    echo "ci: missing artifact $ARTIFACT_DIR/$artifact" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR/metrics.json" "$ARTIFACT_DIR/trace.json" <<'PY'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+trace = json.load(open(sys.argv[2]))
+assert set(metrics) >= {"counters", "gauges", "histograms"}, metrics.keys()
+assert trace["traceEvents"], "trace has no events"
+print(f"ci: metrics has {len(metrics['counters'])} counters, "
+      f"trace has {len(trace['traceEvents'])} events")
+PY
+else
+  echo "ci: python3 not installed, artifacts archived but not parse-checked"
+fi
+
+# Coverage gates only where the tool exists — the growth container has no
+# gcovr — unless the caller asked for coverage explicitly, in which case a
+# missing gcovr is a loud failure rather than a silent skip.
 if command -v gcovr >/dev/null 2>&1; then
   echo "=== ci: coverage (line floor ${COVERAGE_LINE_FLOOR}%) ==="
   build_and_test build-cov -DIVNET_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
   gcovr --root . \
         --filter 'src/ivnet/gen2/' \
         --filter 'src/ivnet/impair/' \
+        --filter 'src/ivnet/obs/' \
         --object-directory build-cov \
         --fail-under-line "${COVERAGE_LINE_FLOOR}" \
         --print-summary
+elif [[ "${IVNET_COVERAGE:-}" == "ON" ]]; then
+  echo "ci: IVNET_COVERAGE=ON but gcovr is not installed" >&2
+  exit 1
 else
   echo "=== ci: gcovr not installed, skipping coverage gate ==="
 fi

@@ -8,6 +8,12 @@
 //   ivnet vitals   [--rounds K]               sensor-read dialogues (swine)
 //   ivnet safety   [--antennas N] [--duty D] [--json]
 //   ivnet help
+//
+// Global flags (any command):
+//   --metrics-out FILE     write a metrics-registry snapshot (JSON)
+//   --trace-out FILE       write a Chrome trace_event file (load in
+//                          chrome://tracing or ui.perfetto.dev)
+//   --trace-clock sim|wall trace clock domain (default wall)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +23,7 @@
 #include "ivnet/common/json.hpp"
 #include "ivnet/common/units.hpp"
 #include "ivnet/cib/optimizer.hpp"
+#include "ivnet/obs/obs.hpp"
 #include "ivnet/sim/calibration.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/planner.hpp"
@@ -321,10 +328,19 @@ int cmd_help() {
   return 0;
 }
 
-}  // namespace
+/// Write `text` to `path`; returns false (with a message) on failure.
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ivnet: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
 
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+int dispatch(const Args& args) {
   if (args.command == "plan") return cmd_plan(args);
   if (args.command == "media") return cmd_media(args);
   if (args.command == "range") return cmd_range(args);
@@ -333,4 +349,31 @@ int main(int argc, char** argv) {
   if (args.command == "safety") return cmd_safety(args);
   if (args.command == "deploy") return cmd_deploy(args);
   return cmd_help();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // Telemetry sink: any command runs instrumented when asked for artifacts.
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(args.get("trace-clock", "wall") == "sim"
+                         ? obs::TraceClock::kSim
+                         : obs::TraceClock::kWall);
+  obs::Sink sink;
+  if (!metrics_out.empty()) sink.metrics = &registry;
+  if (!trace_out.empty()) sink.tracer = &tracer;
+  obs::install(sink);
+
+  int rc = dispatch(args);
+
+  obs::install_null();
+  if (!metrics_out.empty() && !write_file(metrics_out, registry.snapshot_json()))
+    rc = rc == 0 ? 1 : rc;
+  if (!trace_out.empty() && !write_file(trace_out, tracer.to_json()))
+    rc = rc == 0 ? 1 : rc;
+  return rc;
 }
