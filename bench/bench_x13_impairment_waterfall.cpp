@@ -5,102 +5,90 @@
 // clean-channel link budget degrades before the Gen2 session collapses,
 // and how much of the loss is recoverable in the reader alone.
 //
-// Runs with the metrics registry installed and writes the aggregate
-// counters (sessions, retries, decode outcomes, brownouts, ...) to
-// BENCH_x13_metrics.json, or to the path in argv[1].
+// Runs on the sweep-campaign engine (one cell per sweep point) with the
+// metrics registry installed, so the snapshot now carries the campaign
+// counters (cells computed/resumed, cache hits, per-cell latency) next to
+// the session aggregates. Writes the snapshot to BENCH_x13_metrics.json or
+// the path in argv[1]; pass a journal path as argv[2] to checkpoint.
 #include <cstdio>
 #include <string>
 
-#include "ivnet/impair/link_session.hpp"
-#include "ivnet/impair/waterfall.hpp"
+#include "ivnet/common/json.hpp"
 #include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/campaign.hpp"
 
 namespace {
 
 using namespace ivnet;
 
-void print_waterfall() {
+double num(const CellOutcome& outcome, const char* key) {
+  return json_find_number(outcome.result_json, key, 0.0);
+}
+
+// Cell layout (see x13_campaign): 7 waterfall SNR points, then the
+// 3 media x 4 SNR x 3 antenna matrix, 4 retry-ablation points, 7 depths.
+constexpr std::size_t kWaterfallCells = 7;
+constexpr std::size_t kMatrixSnrs = 4;
+constexpr std::size_t kMatrixAntennas = 3;
+constexpr std::size_t kMatrixCells = 3 * kMatrixSnrs * kMatrixAntennas;
+constexpr std::size_t kRetryCells = 4;
+
+void print_waterfall(const CampaignReport& report) {
   std::printf("--- BER/PER waterfall (FM0 uplink, 128-bit frames) ---\n");
   std::printf("%-10s %-12s %-12s %-12s %-10s\n", "SNR [dB]", "BER", "PER",
               "session", "retries");
-  WaterfallConfig config;
-  config.snr_points_db = {30.0, 24.0, 18.0, 12.0, 8.0, 4.0, 0.0};
-  config.trials_per_point = 64;
-  config.link.recovery = RecoveryPolicy::retries(2);
-  Rng rng(13);
-  for (const auto& p : run_ber_waterfall(config, rng)) {
-    std::printf("%-10.1f %-12.4f %-12.3f %-12.3f %-10.2f\n", p.snr_db, p.ber,
-                p.per, p.session_success_rate, p.mean_retries);
+  for (std::size_t i = 0; i < kWaterfallCells; ++i) {
+    const auto& outcome = report.outcomes[i];
+    std::printf("%-10.1f %-12.4f %-12.3f %-12.3f %-10.2f\n",
+                outcome.spec.param_num("snr_db", 0.0), num(outcome, "ber"),
+                num(outcome, "per"), num(outcome, "session_success"),
+                num(outcome, "mean_retries"));
   }
 }
 
-void print_matrix() {
+void print_matrix(const CampaignReport& report) {
   std::printf("\n--- session success: media x SNR x antennas (retries=2) "
               "---\n");
-  MatrixConfig config;
-  config.media = {{"water", 2.0}, {"muscle", 6.0}, {"gastric", 9.0}};
-  config.snr_points_db = {30.0, 20.0, 10.0, 0.0};
-  config.antenna_counts = {1, 3, 10};
-  config.trials_per_cell = 48;
-  config.link.recovery = RecoveryPolicy::retries(2);
-  Rng rng(17);
-  const auto cells = run_session_matrix(config, rng);
-  std::printf("%-10s %-10s", "medium", "SNR [dB]");
-  for (const auto n : config.antenna_counts) {
-    std::printf("  N=%-7zu", n);
-  }
-  std::printf("\n");
-  for (std::size_t i = 0; i < cells.size();
-       i += config.antenna_counts.size()) {
-    std::printf("%-10s %-10.1f", cells[i].medium.c_str(), cells[i].snr_db);
-    for (std::size_t k = 0; k < config.antenna_counts.size(); ++k) {
-      std::printf("  %-9.2f", cells[i + k].success_rate);
+  std::printf("%-10s %-10s  N=1       N=3       N=10\n", "medium",
+              "SNR [dB]");
+  for (std::size_t row = 0; row < kMatrixCells / kMatrixAntennas; ++row) {
+    const std::size_t base = kWaterfallCells + row * kMatrixAntennas;
+    const auto& first = report.outcomes[base];
+    std::printf("%-10s %-10.1f",
+                first.spec.param("medium", "?").c_str(),
+                first.spec.param_num("snr_db", 0.0));
+    for (std::size_t k = 0; k < kMatrixAntennas; ++k) {
+      std::printf("  %-9.2f", num(report.outcomes[base + k], "success_rate"));
     }
     std::printf("\n");
   }
 }
 
-void print_retry_ablation() {
+void print_retry_ablation(const CampaignReport& report) {
   std::printf("\n--- retry ablation on a bursty channel (SNR 30 dB, "
               "150 bursts/s) ---\n");
   std::printf("%-10s %-10s %-10s %-10s\n", "retries", "success", "timeouts",
               "backoff[ms]");
-  for (const std::size_t retries : {0u, 1u, 2u, 3u}) {
-    ImpairedLinkConfig config;
-    config.snr_db = 30.0;
-    config.impair.bursts = {.rate_hz = 150.0, .mean_duration_s = 5e-4,
-                            .depth_db = 40.0};
-    config.recovery = RecoveryPolicy::retries(retries);
-    const std::size_t trials = 200;
-    std::size_t ok = 0, timeouts = 0;
-    double backoff = 0.0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = Rng::stream(23, t);
-      const auto report = run_impaired_link_session(config, rng);
-      ok += report.success;
-      timeouts += report.recovery.timeouts;
-      backoff += report.recovery.backoff_total_s;
-    }
-    std::printf("%-10zu %-10.3f %-10.2f %-10.2f\n", retries,
-                static_cast<double>(ok) / trials,
-                static_cast<double>(timeouts) / trials,
-                1e3 * backoff / trials);
+  const std::size_t base = kWaterfallCells + kMatrixCells;
+  for (std::size_t i = 0; i < kRetryCells; ++i) {
+    const auto& outcome = report.outcomes[base + i];
+    std::printf("%-10.0f %-10.3f %-10.2f %-10.2f\n",
+                outcome.spec.param_num("retries", 0.0),
+                num(outcome, "success"), num(outcome, "timeouts"),
+                num(outcome, "backoff_ms"));
   }
 }
 
-void print_depth_curve() {
+void print_depth_curve(const CampaignReport& report) {
   std::printf("\n--- session success vs muscle depth (10 antennas, "
               "retries=1) ---\n");
   std::printf("%-10s %-12s %-10s\n", "depth [m]", "loss [dB]", "success");
-  DepthSweepConfig config;
-  config.depths_m = {0.01, 0.03, 0.05, 0.08, 0.10, 0.12, 0.15};
-  config.trials_per_point = 64;
-  config.link.num_antennas = 10;
-  config.link.recovery = RecoveryPolicy::retries(1);
-  Rng rng(29);
-  for (const auto& p : run_success_vs_depth(config, rng)) {
-    std::printf("%-10.2f %-12.1f %-10.3f\n", p.depth_m, p.medium_loss_db,
-                p.success_rate);
+  const std::size_t base = kWaterfallCells + kMatrixCells + kRetryCells;
+  for (std::size_t i = base; i < report.outcomes.size(); ++i) {
+    const auto& outcome = report.outcomes[i];
+    std::printf("%-10.2f %-12.1f %-10.3f\n",
+                outcome.spec.param_num("depth_m", 0.0),
+                num(outcome, "loss_db"), num(outcome, "success_rate"));
   }
 }
 
@@ -112,11 +100,19 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   obs::install(obs::Sink{.metrics = &registry});
 
+  CampaignOptions options;
+  if (argc > 2) options.journal_path = argv[2];
+  const CampaignReport report = run_campaign(x13_campaign(), options);
+
   std::printf("=== X13: impairment waterfall and reader recovery ===\n\n");
-  print_waterfall();
-  print_matrix();
-  print_retry_ablation();
-  print_depth_curve();
+  print_waterfall(report);
+  print_matrix(report);
+  print_retry_ablation(report);
+  print_depth_curve(report);
+  std::printf("\ncampaign: %zu cells (%zu computed, %zu resumed, %zu cache "
+              "hits)\n",
+              report.cells_total, report.cells_computed, report.cells_resumed,
+              report.cache_hits);
 
   obs::install_null();
   std::FILE* f = std::fopen(metrics_path.c_str(), "w");
@@ -125,7 +121,7 @@ int main(int argc, char** argv) {
     std::fwrite(snap.data(), 1, snap.size(), f);
     std::fputc('\n', f);
     std::fclose(f);
-    std::printf("\nwrote %s\n", metrics_path.c_str());
+    std::printf("wrote %s\n", metrics_path.c_str());
   }
   return 0;
 }

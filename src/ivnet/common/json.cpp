@@ -1,7 +1,9 @@
 #include "ivnet/common/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ivnet {
 
@@ -43,6 +45,24 @@ std::string json_escape(std::string_view text) {
     }
   }
   return out;
+}
+
+double json_find_number(std::string_view doc, std::string_view key,
+                        double fallback) {
+  const std::string needle = '"' + std::string(key) + "\":";
+  const std::size_t pos = doc.find(needle);
+  if (pos == std::string_view::npos) return fallback;
+  std::size_t start = pos + needle.size();
+  while (start < doc.size() && doc[start] == ' ') ++start;
+  if (start >= doc.size()) return fallback;
+  // strtod needs a terminated buffer; numbers are short.
+  char buf[64];
+  const std::size_t len = std::min(doc.size() - start, sizeof(buf) - 1);
+  doc.copy(buf, len, start);
+  buf[len] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  return end == buf ? fallback : value;
 }
 
 void JsonWriter::comma_if_needed() {

@@ -12,6 +12,13 @@ namespace ivnet {
 /// Escape a string for inclusion inside JSON quotes.
 std::string json_escape(std::string_view text);
 
+/// Flat-field scanner, not a parser: the first number following `"key":`
+/// anywhere in `doc`, or `fallback` when the key is absent. Intended for
+/// pulling known numeric fields back out of documents this writer emitted
+/// (campaign cell results, metric snapshots); keys must be unique in `doc`.
+double json_find_number(std::string_view doc, std::string_view key,
+                        double fallback);
+
 /// Streaming JSON writer with explicit begin/end nesting.
 ///
 ///   JsonWriter w;

@@ -18,8 +18,10 @@ struct CorrelationPeak {
 };
 
 /// Pearson-style normalized correlation between two equal-length real spans
-/// (means removed, normalized by the product of norms). Returns 0 when either
-/// span has zero variance.
+/// (means removed, normalized by the product of norms). Degenerate inputs
+/// return 0 rather than NaN: mismatched lengths, empty spans, and any span
+/// with zero variance (constant values — which includes all length-1 spans,
+/// whose single sample equals its own mean).
 double normalized_correlation(std::span<const double> a, std::span<const double> b);
 
 /// Slide `needle` over `haystack` and return the best normalized correlation.

@@ -1,7 +1,8 @@
 #include "ivnet/signal/fir.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "ivnet/common/units.hpp"
 
@@ -13,11 +14,24 @@ double sinc(double x) {
   return std::sin(kPi * x) / (kPi * x);
 }
 
+// Input validation must hold in release builds too: an assert-only check
+// disappears under NDEBUG and a cutoff at/above Nyquist silently designs
+// garbage taps (the sinc aliases), so these throw unconditionally.
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::invalid_argument("fir: " + what);
+}
+
 }  // namespace
 
 std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
                                    std::size_t num_taps) {
-  assert(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0);
+  if (!(sample_rate_hz > 0.0)) invalid("sample_rate_hz must be > 0");
+  if (!(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0)) {
+    invalid("cutoff_hz must be in (0, sample_rate_hz/2): got " +
+            std::to_string(cutoff_hz) + " at fs " +
+            std::to_string(sample_rate_hz));
+  }
+  if (num_taps == 0) invalid("num_taps must be >= 1");
   if (num_taps % 2 == 0) ++num_taps;
   const double fc = cutoff_hz / sample_rate_hz;  // normalized (cycles/sample)
   const auto mid = static_cast<double>(num_taps - 1) / 2.0;
@@ -37,7 +51,15 @@ std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
 
 std::vector<double> design_bandpass(double low_hz, double high_hz,
                                     double sample_rate_hz, std::size_t num_taps) {
-  assert(low_hz < high_hz);
+  if (!(low_hz >= 0.0 && low_hz < high_hz)) {
+    invalid("band edges must satisfy 0 <= low_hz < high_hz: got [" +
+            std::to_string(low_hz) + ", " + std::to_string(high_hz) + "]");
+  }
+  if (!(high_hz <= sample_rate_hz / 2.0)) {
+    invalid("high_hz must be <= sample_rate_hz/2: got " +
+            std::to_string(high_hz) + " at fs " +
+            std::to_string(sample_rate_hz));
+  }
   auto lp = design_lowpass((high_hz - low_hz) / 2.0, sample_rate_hz, num_taps);
   const double center = (low_hz + high_hz) / 2.0;
   const auto mid = static_cast<double>(lp.size() - 1) / 2.0;

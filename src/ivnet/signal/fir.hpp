@@ -10,12 +10,14 @@
 
 namespace ivnet {
 
-/// Windowed-sinc low-pass FIR taps. `cutoff_hz` < fs/2; `num_taps` odd
-/// (rounded up if even). Hamming window.
+/// Windowed-sinc low-pass FIR taps. `num_taps` odd (rounded up if even).
+/// Hamming window. Throws std::invalid_argument — in release builds too —
+/// unless 0 < cutoff_hz < sample_rate_hz/2 and num_taps >= 1.
 std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
                                    std::size_t num_taps);
 
-/// Band-pass FIR taps centered on [low_hz, high_hz].
+/// Band-pass FIR taps centered on [low_hz, high_hz]. Throws
+/// std::invalid_argument unless 0 <= low_hz < high_hz <= sample_rate_hz/2.
 std::vector<double> design_bandpass(double low_hz, double high_hz,
                                     double sample_rate_hz, std::size_t num_taps);
 

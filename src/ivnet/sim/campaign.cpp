@@ -1,0 +1,696 @@
+#include "ivnet/sim/campaign.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ivnet/common/json.hpp"
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/impair/waterfall.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/experiment.hpp"
+
+namespace ivnet {
+namespace {
+
+std::string format_param(double value) {
+  JsonWriter w;
+  w.value(value);  // the writer's %.10g — same formatter as every result
+  return w.str();
+}
+
+// --- Evaluator registry --------------------------------------------------
+
+struct EvaluatorRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, CellEvaluator> evaluators;
+
+  static EvaluatorRegistry& instance() {
+    static EvaluatorRegistry registry;
+    return registry;
+  }
+};
+
+CellEvaluator find_evaluator(const std::string& kind) {
+  auto& reg = EvaluatorRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.evaluators.find(kind);
+  if (it == reg.evaluators.end()) return nullptr;
+  return it->second;
+}
+
+// --- Journal -------------------------------------------------------------
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// One journal record; `result_json` is spliced in verbatim so a replay
+/// reproduces the evaluator's bytes exactly.
+std::string journal_line(const CellSpec& spec, std::uint64_t hash,
+                         const std::string& result_json) {
+  std::string line = "{\"hash\":\"" + hash_hex(hash) + "\",\"cell\":";
+  line += spec.canonical_json();
+  line += ",\"result\":";
+  line += result_json;
+  line += "}\n";
+  return line;
+}
+
+/// True when `text` is a brace/bracket-balanced JSON fragment starting at
+/// '{' — the cheap structural check that rejects torn journal tails without
+/// pulling in a full parser. Tracks strings so quoted braces don't count.
+bool balanced_json_object(const std::string& text) {
+  if (text.empty() || text.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth == 0) return i == text.size() - 1;
+      if (depth < 0) return false;
+    }
+  }
+  return false;
+}
+
+/// Drop any newline-less tail (a record torn by a crash mid-write) so the
+/// next append starts on a record boundary. No-op on missing/clean files.
+void truncate_torn_tail(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  if (content.empty() || content.back() == '\n') return;
+  const std::size_t last_nl = content.find_last_of('\n');
+  const std::size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+  (void)::truncate(path.c_str(), static_cast<off_t>(keep));
+}
+
+/// Serialized appender owning the journal FILE*. Every record is flushed
+/// AND fsync'd before append() returns: once a caller observes a cell as
+/// journaled, a crash cannot un-journal it.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::string& path, bool fresh) {
+    if (path.empty()) return;
+    // A SIGKILL mid-append leaves a torn, newline-less tail. Appending a
+    // fresh record onto it would glue the two lines into one corrupt one,
+    // losing BOTH cells — truncate back to the last complete record first.
+    if (!fresh) truncate_torn_tail(path);
+    file_ = std::fopen(path.c_str(), fresh ? "w" : "a");
+    if (file_ == nullptr) {
+      throw std::runtime_error("campaign: cannot open journal " + path);
+    }
+  }
+  ~JournalWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append(const CellSpec& spec, std::uint64_t hash,
+              const std::string& result_json) {
+    if (file_ == nullptr) return;
+    const std::string line = journal_line(spec, hash, result_json);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+    fsync(fileno(file_));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+// --- CellSpec ------------------------------------------------------------
+
+CellSpec& CellSpec::set(const std::string& key, const std::string& value) {
+  params[key] = value;
+  return *this;
+}
+
+CellSpec& CellSpec::set(const std::string& key, const char* value) {
+  params[key] = value;
+  return *this;
+}
+
+CellSpec& CellSpec::set(const std::string& key, double value) {
+  params[key] = format_param(value);
+  return *this;
+}
+
+CellSpec& CellSpec::set(const std::string& key, std::size_t value) {
+  params[key] = std::to_string(value);
+  return *this;
+}
+
+std::string CellSpec::param(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+double CellSpec::param_num(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string CellSpec::canonical_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kind", kind);
+  w.key("params").begin_object();
+  for (const auto& [key, value] : params) w.field(key, value);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::uint64_t CellSpec::content_hash() const {
+  const std::string canonical = canonical_json();
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// --- Registry / cache ----------------------------------------------------
+
+void register_cell_evaluator(const std::string& kind,
+                             CellEvaluator evaluator) {
+  auto& reg = EvaluatorRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.evaluators[kind] = std::move(evaluator);
+}
+
+bool has_cell_evaluator(const std::string& kind) {
+  return find_evaluator(kind) != nullptr;
+}
+
+CellCache& CellCache::instance() {
+  static CellCache cache;
+  return cache;
+}
+
+bool CellCache::lookup(std::uint64_t hash, std::string* result_json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(hash);
+  if (it == results_.end()) return false;
+  if (result_json != nullptr) *result_json = it->second;
+  return true;
+}
+
+void CellCache::insert(std::uint64_t hash, std::string result_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.emplace(hash, std::move(result_json));
+}
+
+void CellCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.clear();
+}
+
+std::size_t CellCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+// --- Journal reader ------------------------------------------------------
+
+std::vector<JournalEntry> read_campaign_journal(const std::string& path) {
+  std::vector<JournalEntry> entries;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return entries;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: no newline, skip
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    // {"hash":"<16 hex>","cell":{...},"result":{...}}
+    static constexpr std::string_view kPrefix = "{\"hash\":\"";
+    if (line.rfind(kPrefix, 0) != 0 || !balanced_json_object(line)) continue;
+    const std::string hex = line.substr(kPrefix.size(), 16);
+    if (hex.size() != 16 || line[kPrefix.size() + 16] != '"') continue;
+    char* end = nullptr;
+    const std::uint64_t hash = std::strtoull(hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') continue;
+    static constexpr std::string_view kResultKey = ",\"result\":";
+    const std::size_t rpos = line.find(kResultKey);
+    if (rpos == std::string::npos) continue;
+    // Everything between the result key and the record's closing brace.
+    std::string result = line.substr(rpos + kResultKey.size(),
+                                     line.size() - (rpos + kResultKey.size()) -
+                                         1);
+    if (!balanced_json_object(result)) continue;
+    entries.push_back(JournalEntry{hash, std::move(result)});
+  }
+  return entries;
+}
+
+// --- Campaign runner -----------------------------------------------------
+
+std::string CampaignReport::results_json() const {
+  std::string out = "{\"campaign\":\"";
+  out += json_escape(name);
+  out += "\",\"cells\":[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) out += ',';
+    const CellOutcome& o = outcomes[i];
+    out += "{\"cell\":";
+    out += o.spec.canonical_json();
+    out += ",\"hash\":\"" + hash_hex(o.hash) + "\",\"result\":";
+    out += o.result_json;
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  register_builtin_cell_evaluators();
+  CampaignReport report;
+  report.name = spec.name;
+  report.cells_total = spec.cells.size();
+  report.outcomes.resize(spec.cells.size());
+
+  // Resolve evaluators up front: a bad kind must fail before any work (and
+  // never from inside the pool, where exceptions cannot propagate).
+  std::vector<CellEvaluator> evaluators(spec.cells.size());
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    evaluators[i] = find_evaluator(spec.cells[i].kind);
+    if (!evaluators[i]) {
+      throw std::invalid_argument("campaign: no evaluator for kind '" +
+                                  spec.cells[i].kind + "'");
+    }
+  }
+
+  std::unordered_map<std::uint64_t, std::string> journaled;
+  if (!options.journal_path.empty() && !options.fresh) {
+    for (auto& entry : read_campaign_journal(options.journal_path)) {
+      journaled.emplace(entry.hash, std::move(entry.result_json));
+    }
+  }
+  JournalWriter journal(options.journal_path, options.fresh);
+  CellCache& cache = CellCache::instance();
+
+  // Serial resolution pass in spec order, so resumed/cache-hit counts are
+  // deterministic for any thread count: journal first, then the memo
+  // cache, then schedule the first instance of each remaining hash.
+  std::vector<std::size_t> pending;  // first instances to compute
+  std::unordered_map<std::uint64_t, std::size_t> scheduled;  // hash -> index
+  std::vector<std::size_t> duplicates;  // later instances of scheduled hashes
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    CellOutcome& out = report.outcomes[i];
+    out.spec = spec.cells[i];
+    out.hash = spec.cells[i].content_hash();
+    if (const auto it = journaled.find(out.hash); it != journaled.end()) {
+      out.result_json = it->second;
+      out.source = CellSource::kJournal;
+      ++report.cells_resumed;
+      cache.insert(out.hash, out.result_json);
+      continue;
+    }
+    if (cache.lookup(out.hash, &out.result_json)) {
+      out.source = CellSource::kCache;
+      ++report.cache_hits;
+      // Cache-resolved cells still land in THIS journal, so the journal
+      // alone replays the whole campaign.
+      journal.append(out.spec, out.hash, out.result_json);
+      continue;
+    }
+    if (scheduled.count(out.hash) > 0) {
+      duplicates.push_back(i);  // resolved from the first instance below
+      ++report.cache_hits;
+      continue;
+    }
+    scheduled.emplace(out.hash, i);
+    pending.push_back(i);
+  }
+
+  obs::count("campaign.cells.total", report.cells_total);
+  obs::count("campaign.cells.resumed", report.cells_resumed);
+  obs::count("campaign.cache.misses", pending.size());
+
+  // Shard pending cells across the pool, one cell per chunk — cells are
+  // coarse (whole Monte-Carlo sweeps), so the fixed fine grain of
+  // parallel_for would serialize small campaigns.
+  auto evaluate = [&](std::size_t pi) {
+    const std::size_t i = pending[pi];
+    CellOutcome& out = report.outcomes[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    out.result_json = evaluators[i](out.spec);
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    out.source = CellSource::kComputed;
+    obs::observe("campaign.cell.seconds", dt);
+    cache.insert(out.hash, out.result_json);
+    journal.append(out.spec, out.hash, out.result_json);
+  };
+  if (pending.size() <= 1 || parallel_thread_count() <= 1 ||
+      detail::in_pool_worker()) {
+    for (std::size_t pi = 0; pi < pending.size(); ++pi) evaluate(pi);
+  } else {
+    detail::pool_run(pending.size(), evaluate);
+  }
+  report.cells_computed = pending.size();
+
+  for (const std::size_t i : duplicates) {
+    CellOutcome& out = report.outcomes[i];
+    out.result_json = report.outcomes[scheduled.at(out.hash)].result_json;
+    out.source = CellSource::kCache;
+  }
+
+  obs::count("campaign.cells.computed", report.cells_computed);
+  obs::count("campaign.cache.hits", report.cache_hits);
+  return report;
+}
+
+// --- Built-in evaluators -------------------------------------------------
+
+namespace {
+
+Scenario scenario_from(const CellSpec& cell) {
+  const std::string kind = cell.param("scenario", "water_tank");
+  if (kind == "air") return air_scenario(cell.param_num("distance_m", 2.0));
+  return water_tank_scenario(
+      cell.param_num("depth_m", 0.05),
+      cell.param_num("standoff_m", calib::kGainSetupStandoffM));
+}
+
+TagConfig tag_from(const CellSpec& cell) {
+  return cell.param("tag", "std") == "mini" ? miniature_tag() : standard_tag();
+}
+
+std::string eval_gain(const CellSpec& cell) {
+  const auto scenario = scenario_from(cell);
+  const auto tag = tag_from(cell);
+  const auto plan = FrequencyPlan::paper_default().truncated(
+      static_cast<std::size_t>(cell.param_num("antennas", 8)));
+  const auto trials = static_cast<std::size_t>(cell.param_num("trials", 150));
+  Rng rng(static_cast<std::uint64_t>(cell.param_num("seed", 9)));
+  const auto results = run_gain_trials(scenario, tag, plan, trials, rng);
+  const auto cib = summarize_cib(results);
+  const auto baseline = summarize_baseline(results);
+  JsonWriter w;
+  w.begin_object();
+  w.field("p10", cib.p10);
+  w.field("p50", cib.p50);
+  w.field("p90", cib.p90);
+  w.field("baseline_p50", baseline.p50);
+  w.field("trials", trials);
+  w.end_object();
+  return w.str();
+}
+
+std::string eval_range(const CellSpec& cell) {
+  const auto tag = tag_from(cell);
+  const auto plan = FrequencyPlan::paper_default().truncated(
+      static_cast<std::size_t>(cell.param_num("antennas", 8)));
+  const auto trials = static_cast<std::size_t>(cell.param_num("trials", 15));
+  const bool water = cell.param("medium", "air") == "water";
+  Rng rng(static_cast<std::uint64_t>(cell.param_num("seed", 13)));
+  const double max_m =
+      water ? max_water_depth(tag, plan, trials, rng,
+                              cell.param_num("max_search_m", 0.5))
+            : max_air_range(tag, plan, trials, rng,
+                            cell.param_num("max_search_m", 100.0));
+  JsonWriter w;
+  w.begin_object();
+  w.field("max_m", max_m);
+  w.field("trials", trials);
+  w.end_object();
+  return w.str();
+}
+
+std::string eval_waterfall(const CellSpec& cell) {
+  WaterfallConfig config;
+  config.snr_points_db = {cell.param_num("snr_db", 30.0)};
+  config.trials_per_point =
+      static_cast<std::size_t>(cell.param_num("trials", 32));
+  config.link.recovery = RecoveryPolicy::retries(
+      static_cast<std::size_t>(cell.param_num("retries", 2)));
+  // Same seed across SNR cells => same Rng::stream trial sub-streams: the
+  // common-random-numbers coupling that keeps the waterfall monotone.
+  Rng rng(static_cast<std::uint64_t>(cell.param_num("seed", 13)));
+  const auto points = run_ber_waterfall(config, rng);
+  const auto& p = points.front();
+  JsonWriter w;
+  w.begin_object();
+  w.field("ber", p.ber);
+  w.field("per", p.per);
+  w.field("session_success", p.session_success_rate);
+  w.field("mean_retries", p.mean_retries);
+  w.field("trials", p.trials);
+  w.end_object();
+  return w.str();
+}
+
+std::string eval_matrix(const CellSpec& cell) {
+  MatrixConfig config;
+  config.media = {{cell.param("medium", "water"),
+                   cell.param_num("loss_db", 2.0)}};
+  config.snr_points_db = {cell.param_num("snr_db", 30.0)};
+  config.antenna_counts = {
+      static_cast<std::size_t>(cell.param_num("antennas", 1))};
+  config.trials_per_cell =
+      static_cast<std::size_t>(cell.param_num("trials", 24));
+  config.link.recovery = RecoveryPolicy::retries(
+      static_cast<std::size_t>(cell.param_num("retries", 2)));
+  Rng rng(static_cast<std::uint64_t>(cell.param_num("seed", 17)));
+  const auto cells = run_session_matrix(config, rng);
+  const auto& c = cells.front();
+  JsonWriter w;
+  w.begin_object();
+  w.field("success_rate", c.success_rate);
+  w.field("mean_retries", c.mean_retries);
+  w.field("recovered_by_retry", c.recovered_by_retry);
+  w.field("trials", c.trials);
+  w.end_object();
+  return w.str();
+}
+
+std::string eval_depth(const CellSpec& cell) {
+  DepthSweepConfig config;
+  config.depths_m = {cell.param_num("depth_m", 0.05)};
+  config.trials_per_point =
+      static_cast<std::size_t>(cell.param_num("trials", 32));
+  config.link.num_antennas =
+      static_cast<std::size_t>(cell.param_num("antennas", 10));
+  config.link.recovery = RecoveryPolicy::retries(
+      static_cast<std::size_t>(cell.param_num("retries", 1)));
+  Rng rng(static_cast<std::uint64_t>(cell.param_num("seed", 29)));
+  const auto points = run_success_vs_depth(config, rng);
+  const auto& p = points.front();
+  JsonWriter w;
+  w.begin_object();
+  w.field("loss_db", p.medium_loss_db);
+  w.field("success_rate", p.success_rate);
+  w.field("mean_retries", p.mean_retries);
+  w.end_object();
+  return w.str();
+}
+
+std::string eval_burst_retry(const CellSpec& cell) {
+  ImpairedLinkConfig config;
+  config.snr_db = cell.param_num("snr_db", 30.0);
+  config.impair.bursts = {
+      .rate_hz = cell.param_num("burst_rate_hz", 150.0),
+      .mean_duration_s = cell.param_num("burst_duration_s", 5e-4),
+      .depth_db = cell.param_num("burst_depth_db", 40.0)};
+  config.recovery = RecoveryPolicy::retries(
+      static_cast<std::size_t>(cell.param_num("retries", 0)));
+  const auto trials = static_cast<std::size_t>(cell.param_num("trials", 200));
+  const auto seed = static_cast<std::uint64_t>(cell.param_num("seed", 23));
+  std::size_t ok = 0, timeouts = 0;
+  double backoff = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng rng = Rng::stream(seed, t);
+    const auto report = run_impaired_link_session(config, rng);
+    ok += report.success;
+    timeouts += report.recovery.timeouts;
+    backoff += report.recovery.backoff_total_s;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.field("success", static_cast<double>(ok) / static_cast<double>(trials));
+  w.field("timeouts",
+          static_cast<double>(timeouts) / static_cast<double>(trials));
+  w.field("backoff_ms", 1e3 * backoff / static_cast<double>(trials));
+  w.field("trials", trials);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+void register_builtin_cell_evaluators() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_cell_evaluator("gain", eval_gain);
+    register_cell_evaluator("range", eval_range);
+    register_cell_evaluator("waterfall", eval_waterfall);
+    register_cell_evaluator("matrix", eval_matrix);
+    register_cell_evaluator("depth", eval_depth);
+    register_cell_evaluator("burst_retry", eval_burst_retry);
+  });
+}
+
+// --- Figure campaigns ----------------------------------------------------
+
+namespace {
+
+/// The Fig. 9 water-tank gain cell for `antennas` — the SAME spec (hence
+/// hash) wherever it appears, which is what lets Fig. 13's anchors reuse
+/// Fig. 9's results through the memo cache.
+CellSpec water_gain_cell(std::size_t antennas, std::size_t trials) {
+  CellSpec cell("gain");
+  cell.set("scenario", "water_tank")
+      .set("depth_m", 0.05)
+      .set("standoff_m", calib::kGainSetupStandoffM)
+      .set("tag", "std")
+      .set("antennas", antennas)
+      .set("trials", trials)
+      .set("seed", std::size_t{9});
+  return cell;
+}
+
+CellSpec range_cell(const char* tag, const char* medium, std::size_t antennas,
+                    std::size_t trials, double max_search_m) {
+  CellSpec cell("range");
+  cell.set("tag", tag)
+      .set("medium", medium)
+      .set("antennas", antennas)
+      .set("trials", trials)
+      .set("max_search_m", max_search_m)
+      .set("seed", std::size_t{13});
+  return cell;
+}
+
+}  // namespace
+
+CampaignSpec fig9_campaign(std::size_t gain_trials) {
+  CampaignSpec spec;
+  spec.name = "fig9";
+  for (std::size_t n = 1; n <= 10; ++n) {
+    spec.cells.push_back(water_gain_cell(n, gain_trials));
+  }
+  return spec;
+}
+
+CampaignSpec fig13_campaign(std::size_t gain_trials, std::size_t range_trials) {
+  CampaignSpec spec;
+  spec.name = "fig13";
+  for (std::size_t n = 1; n <= 8; ++n) {
+    spec.cells.push_back(range_cell("std", "air", n, range_trials, 80.0));
+    spec.cells.push_back(range_cell("mini", "air", n, range_trials, 20.0));
+    spec.cells.push_back(range_cell("std", "water", n, range_trials, 0.5));
+    spec.cells.push_back(range_cell("mini", "water", n, range_trials, 0.5));
+  }
+  // Water-tank gain anchors shared verbatim with fig9 (same hash): when
+  // both campaigns run in one process, these resolve from the memo cache.
+  spec.cells.push_back(water_gain_cell(1, gain_trials));
+  spec.cells.push_back(water_gain_cell(8, gain_trials));
+  return spec;
+}
+
+CampaignSpec x13_campaign(std::size_t trials) {
+  CampaignSpec spec;
+  spec.name = "x13";
+  for (const double snr : {30.0, 24.0, 18.0, 12.0, 8.0, 4.0, 0.0}) {
+    CellSpec cell("waterfall");
+    cell.set("snr_db", snr)
+        .set("trials", trials)
+        .set("retries", std::size_t{2})
+        .set("seed", std::size_t{13});
+    spec.cells.push_back(cell);
+  }
+  const struct {
+    const char* name;
+    double loss_db;
+  } media[] = {{"water", 2.0}, {"muscle", 6.0}, {"gastric", 9.0}};
+  for (const auto& medium : media) {
+    for (const double snr : {30.0, 20.0, 10.0, 0.0}) {
+      for (const std::size_t antennas : {1u, 3u, 10u}) {
+        CellSpec cell("matrix");
+        cell.set("medium", medium.name)
+            .set("loss_db", medium.loss_db)
+            .set("snr_db", snr)
+            .set("antennas", antennas)
+            .set("trials", trials)
+            .set("retries", std::size_t{2})
+            .set("seed", std::size_t{17});
+        spec.cells.push_back(cell);
+      }
+    }
+  }
+  for (const std::size_t retries : {0u, 1u, 2u, 3u}) {
+    CellSpec cell("burst_retry");
+    cell.set("retries", retries)
+        .set("snr_db", 30.0)
+        .set("burst_rate_hz", 150.0)
+        .set("burst_duration_s", 5e-4)
+        .set("burst_depth_db", 40.0)
+        .set("trials", std::size_t{200})
+        .set("seed", std::size_t{23});
+    spec.cells.push_back(cell);
+  }
+  for (const double depth : {0.01, 0.03, 0.05, 0.08, 0.10, 0.12, 0.15}) {
+    CellSpec cell("depth");
+    cell.set("depth_m", depth)
+        .set("antennas", std::size_t{10})
+        .set("retries", std::size_t{1})
+        .set("trials", trials)
+        .set("seed", std::size_t{29});
+    spec.cells.push_back(cell);
+  }
+  return spec;
+}
+
+}  // namespace ivnet

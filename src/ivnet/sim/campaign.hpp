@@ -1,0 +1,171 @@
+// Sweep-campaign engine: declarative (scenario x plan x trials x seed)
+// grids evaluated as independent cells, sharded across the shared thread
+// pool, journaled to an append-only JSONL checkpoint, and memoized in a
+// process-wide cache keyed by a content hash of each cell's inputs.
+//
+//   * A CELL is one (evaluator kind, parameter map) pair. Parameters are
+//     strings with fixed formatting, so the canonical JSON — and therefore
+//     the FNV-1a content hash — never drifts with locale or float state.
+//   * The JOURNAL is one fsync'd JSONL record per completed cell. A run
+//     killed at any point resumes by replaying the journal: finished cells
+//     are emitted verbatim from their journaled result text, so an
+//     interrupted-then-resumed campaign produces BYTE-IDENTICAL final JSON
+//     to an uninterrupted one, at any IVNET_THREADS. Torn or corrupt
+//     journal lines (the tail of a SIGKILL'd write) are skipped and their
+//     cells recomputed.
+//   * The CACHE memoizes result text by content hash for the lifetime of
+//     the process, so cells shared between benches (Fig. 9 and Fig. 13
+//     share their water-tank gain anchors) evaluate once. Cache-resolved
+//     cells are still appended to the journal so every journal is a
+//     self-contained checkpoint of its own campaign.
+//
+// Determinism contract: evaluators must be pure functions of the CellSpec
+// (all randomness from an Rng seeded by a `seed` parameter, trial loops on
+// counter-derived Rng::stream sub-streams), so a cell's result text is
+// independent of thread count, evaluation order, and which campaign asked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ivnet {
+
+/// One sweep cell: an evaluator kind plus its parameters. The param map is
+/// ordered, so the canonical form is independent of insertion order.
+struct CellSpec {
+  std::string kind;
+  std::map<std::string, std::string> params;
+
+  CellSpec() = default;
+  explicit CellSpec(std::string kind_) : kind(std::move(kind_)) {}
+
+  /// Typed setters with fixed value formatting (doubles via the JSON
+  /// writer's %.10g, integers via decimal) — the hash input never drifts.
+  CellSpec& set(const std::string& key, const std::string& value);
+  CellSpec& set(const std::string& key, const char* value);
+  CellSpec& set(const std::string& key, double value);
+  CellSpec& set(const std::string& key, std::size_t value);
+
+  std::string param(const std::string& key, const std::string& fallback) const;
+  double param_num(const std::string& key, double fallback) const;
+
+  /// {"kind":...,"params":{...sorted...}} — the content-hash input.
+  std::string canonical_json() const;
+
+  /// FNV-1a 64 over canonical_json(). Identical params => identical hash,
+  /// whatever campaign, process, or thread evaluated the cell.
+  std::uint64_t content_hash() const;
+};
+
+/// Evaluates one cell to its result: a complete JSON object in text form,
+/// byte-stable for equal specs (use JsonWriter; seed all randomness from
+/// the spec's `seed` parameter).
+using CellEvaluator = std::function<std::string(const CellSpec&)>;
+
+/// Register an evaluator for `kind` (replaces any previous registration).
+void register_cell_evaluator(const std::string& kind, CellEvaluator evaluator);
+bool has_cell_evaluator(const std::string& kind);
+
+/// Process-wide memo of cell results keyed by content hash. Thread-safe.
+class CellCache {
+ public:
+  static CellCache& instance();
+
+  /// True (and fills *result_json) when `hash` is memoized.
+  bool lookup(std::uint64_t hash, std::string* result_json) const;
+  void insert(std::uint64_t hash, std::string result_json);
+  void clear();
+  std::size_t size() const;
+
+ private:
+  CellCache() = default;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::string> results_;
+};
+
+/// A named list of cells. Duplicate cells (same hash) are legal and
+/// evaluate once.
+struct CampaignSpec {
+  std::string name;
+  std::vector<CellSpec> cells;
+};
+
+/// Where a cell's result came from in this run.
+enum class CellSource {
+  kComputed,  ///< evaluated fresh in this run
+  kJournal,   ///< replayed from the journal (resume)
+  kCache,     ///< memo hit (earlier campaign or duplicate cell)
+};
+
+struct CellOutcome {
+  CellSpec spec;
+  std::uint64_t hash = 0;
+  std::string result_json;  ///< evaluator output, verbatim
+  CellSource source = CellSource::kComputed;
+};
+
+struct CampaignOptions {
+  /// Append-only JSONL checkpoint. Empty disables journaling (and resume).
+  std::string journal_path;
+  /// Truncate an existing journal instead of resuming from it.
+  bool fresh = false;
+};
+
+struct CampaignReport {
+  std::string name;
+  std::vector<CellOutcome> outcomes;  ///< spec order
+  std::size_t cells_total = 0;
+  std::size_t cells_computed = 0;
+  std::size_t cells_resumed = 0;  ///< replayed from the journal
+  std::size_t cache_hits = 0;     ///< memo hits (incl. in-spec duplicates)
+
+  /// {"campaign":...,"cells":[{kind,params,hash,result}...]} in spec order.
+  /// Byte-identical for interrupted-then-resumed and uninterrupted runs.
+  std::string results_json() const;
+};
+
+/// Run every cell of `spec`: resolve from journal, then memo cache, and
+/// shard the remainder across the shared pool (one cell per pool chunk —
+/// cells are coarse). Each completed cell is appended to the journal and
+/// fsync'd before it can appear in any final output. Throws
+/// std::invalid_argument when a cell kind has no registered evaluator.
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+/// One replayable journal record.
+struct JournalEntry {
+  std::uint64_t hash = 0;
+  std::string result_json;
+};
+
+/// Parse a campaign journal, skipping torn or corrupt lines (a record is
+/// only trusted when its line is newline-terminated and well-formed).
+/// Missing file => empty.
+std::vector<JournalEntry> read_campaign_journal(const std::string& path);
+
+// --- Figure campaigns ----------------------------------------------------
+// Built-in evaluator kinds: "gain" (blind-channel gain trials), "range"
+// (max air range / water depth search), "waterfall" (one BER/PER SNR
+// point), "matrix" (one media x SNR x antennas session cell), "depth" (one
+// success-vs-depth point), "burst_retry" (retry ablation on a bursty
+// channel). Registered lazily by the campaign builders and run_campaign.
+void register_builtin_cell_evaluators();
+
+/// Fig. 9: water-tank gain vs antenna count, one gain cell per N in 1..10.
+CampaignSpec fig9_campaign(std::size_t gain_trials = 150);
+
+/// Fig. 13: range/depth vs antenna count for tag x medium, plus the
+/// Fig. 9 water-tank gain anchors at N=1 and N=8 — the cells the two
+/// campaigns share (identical hash => the memo cache evaluates them once
+/// per process).
+CampaignSpec fig13_campaign(std::size_t gain_trials = 150,
+                            std::size_t range_trials = 15);
+
+/// X13: impairment waterfall + media matrix + retry ablation + depth curve.
+CampaignSpec x13_campaign(std::size_t trials = 48);
+
+}  // namespace ivnet

@@ -1,0 +1,349 @@
+// Tests for ivnet/sim/campaign: cell canonicalization and content hashing,
+// journal crash-consistency (torn-tail skipping), kill-and-resume byte
+// determinism, the process-wide memo cache (duplicate and cross-campaign
+// sharing), thread-count invariance, and the obs:: counter surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/campaign.hpp"
+
+namespace ivnet {
+namespace {
+
+std::atomic<int> g_synth_calls{0};
+
+// Deterministic synthetic evaluator: result depends only on the spec.
+std::string synth_eval(const CellSpec& spec) {
+  g_synth_calls.fetch_add(1);
+  const double a = spec.param_num("a", 0.0);
+  const double b = spec.param_num("b", 0.0);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"sum\":%.10g,\"prod\":%.10g}", a + b,
+                a * b);
+  return buf;
+}
+
+CellSpec synth_cell(double a, double b) {
+  CellSpec cell("synth");
+  cell.set("a", a).set("b", b);
+  return cell;
+}
+
+std::string temp_journal(const std::string& name) {
+  return testing::TempDir() + "campaign_" + name + ".jsonl";
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_cell_evaluator("synth", synth_eval);
+    CellCache::instance().clear();
+    g_synth_calls.store(0);
+  }
+  void TearDown() override {
+    CellCache::instance().clear();
+    set_parallel_threads(0);
+    obs::install_null();
+  }
+};
+
+TEST_F(CampaignTest, CanonicalJsonIsSortedAndFixedFormat) {
+  CellSpec cell("gain");
+  // Insertion order must not matter: params are map-sorted.
+  cell.set("trials", std::size_t{150});
+  cell.set("antennas", std::size_t{8});
+  cell.set("depth_m", 0.05);
+  EXPECT_EQ(cell.canonical_json(),
+            "{\"kind\":\"gain\",\"params\":{\"antennas\":\"8\","
+            "\"depth_m\":\"0.05\",\"trials\":\"150\"}}");
+
+  CellSpec reordered("gain");
+  reordered.set("depth_m", 0.05);
+  reordered.set("antennas", std::size_t{8});
+  reordered.set("trials", std::size_t{150});
+  EXPECT_EQ(cell.content_hash(), reordered.content_hash());
+}
+
+TEST_F(CampaignTest, ContentHashSeparatesKindAndParams) {
+  const CellSpec a = synth_cell(1.0, 2.0);
+  const CellSpec b = synth_cell(1.0, 3.0);
+  CellSpec c = synth_cell(1.0, 2.0);
+  c.kind = "other";
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  EXPECT_NE(a.content_hash(), c.content_hash());
+  EXPECT_EQ(a.content_hash(), synth_cell(1.0, 2.0).content_hash());
+}
+
+TEST_F(CampaignTest, UnknownKindThrowsBeforeAnyWork) {
+  CampaignSpec spec;
+  spec.name = "bad";
+  spec.cells.push_back(synth_cell(1.0, 2.0));
+  spec.cells.emplace_back("no_such_kind");
+  EXPECT_THROW(run_campaign(spec), std::invalid_argument);
+  EXPECT_EQ(g_synth_calls.load(), 0) << "must throw before evaluating cells";
+}
+
+TEST_F(CampaignTest, ComputesCellsAndReportsSources) {
+  CampaignSpec spec;
+  spec.name = "basic";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0)};
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(report.cells_total, 2u);
+  EXPECT_EQ(report.cells_computed, 2u);
+  EXPECT_EQ(report.cells_resumed, 0u);
+  EXPECT_EQ(report.cache_hits, 0u);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_EQ(report.outcomes[0].result_json, "{\"sum\":3,\"prod\":2}");
+  EXPECT_EQ(report.outcomes[1].result_json, "{\"sum\":7,\"prod\":12}");
+  EXPECT_EQ(report.outcomes[0].source, CellSource::kComputed);
+  // Final JSON splices result text verbatim in spec order.
+  const std::string json = report.results_json();
+  EXPECT_NE(json.find("\"campaign\":\"basic\""), std::string::npos);
+  EXPECT_LT(json.find("{\"sum\":3,\"prod\":2}"),
+            json.find("{\"sum\":7,\"prod\":12}"));
+}
+
+TEST_F(CampaignTest, DuplicateCellsEvaluateOnce) {
+  CampaignSpec spec;
+  spec.name = "dup";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(5.0, 6.0),
+                synth_cell(1.0, 2.0)};
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(g_synth_calls.load(), 2);
+  EXPECT_EQ(report.cells_computed, 2u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.outcomes[0].result_json, report.outcomes[2].result_json);
+  EXPECT_EQ(report.outcomes[2].source, CellSource::kCache);
+}
+
+TEST_F(CampaignTest, MemoCacheSharesCellsAcrossCampaigns) {
+  CampaignSpec first;
+  first.name = "first";
+  first.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0)};
+  run_campaign(first);
+  EXPECT_EQ(g_synth_calls.load(), 2);
+
+  CampaignSpec second;
+  second.name = "second";
+  second.cells = {synth_cell(3.0, 4.0), synth_cell(9.0, 9.0)};
+  const CampaignReport report = run_campaign(second);
+  EXPECT_EQ(g_synth_calls.load(), 3) << "shared cell must not recompute";
+  EXPECT_EQ(report.cache_hits, 1u);
+  EXPECT_EQ(report.cells_computed, 1u);
+  EXPECT_EQ(report.outcomes[0].source, CellSource::kCache);
+}
+
+TEST_F(CampaignTest, JournalHoldsOneFsyncedRecordPerCell) {
+  const std::string path = temp_journal("write");
+  std::remove(path.c_str());
+  CampaignSpec spec;
+  spec.name = "journaled";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0)};
+  const CampaignReport report = run_campaign(spec, {path, /*fresh=*/true});
+  const auto entries = read_campaign_journal(path);
+  ASSERT_EQ(entries.size(), 2u);
+  // Journal order is evaluation order (not necessarily spec order); match
+  // by hash.
+  for (const auto& outcome : report.outcomes) {
+    bool found = false;
+    for (const auto& entry : entries) {
+      if (entry.hash == outcome.hash) {
+        EXPECT_EQ(entry.result_json, outcome.result_json);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "cell missing from journal";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, JournalSkipsTornAndCorruptLines) {
+  const std::string path = temp_journal("torn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    // Good record.
+    out << "{\"hash\":\"00000000000000ab\",\"cell\":{\"kind\":\"synth\","
+           "\"params\":{}},\"result\":{\"sum\":1}}\n";
+    // Corrupt: unbalanced braces (but newline-terminated).
+    out << "{\"hash\":\"00000000000000cd\",\"cell\":{\"kind\":\"synth\","
+           "\"params\":{}},\"result\":{\"sum\":2}\n";
+    // Torn tail: no trailing newline (SIGKILL mid-write).
+    out << "{\"hash\":\"00000000000000ef\",\"cell\":{\"kind\":\"syn";
+  }
+  const auto entries = read_campaign_journal(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].hash, 0xabu);
+  EXPECT_EQ(entries[0].result_json, "{\"sum\":1}");
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, MissingJournalReadsEmpty) {
+  EXPECT_TRUE(read_campaign_journal(temp_journal("nonexistent")).empty());
+}
+
+TEST_F(CampaignTest, ResumeReplaysJournalWithoutRecomputing) {
+  const std::string path = temp_journal("resume");
+  CampaignSpec spec;
+  spec.name = "resumable";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0),
+                synth_cell(5.0, 6.0)};
+  const std::string full = run_campaign(spec, {path, true}).results_json();
+  EXPECT_EQ(g_synth_calls.load(), 3);
+
+  // A resumed run in a fresh process: empty memo cache, journal on disk.
+  CellCache::instance().clear();
+  const CampaignReport resumed = run_campaign(spec, {path, false});
+  EXPECT_EQ(g_synth_calls.load(), 3) << "resume must not recompute";
+  EXPECT_EQ(resumed.cells_resumed, 3u);
+  EXPECT_EQ(resumed.cells_computed, 0u);
+  EXPECT_EQ(resumed.outcomes[0].source, CellSource::kJournal);
+  EXPECT_EQ(resumed.results_json(), full) << "resume must be byte-identical";
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, KilledRunResumesByteIdentical) {
+  // Simulate a SIGKILL mid-campaign: keep the first journal record intact,
+  // tear the second mid-line, then resume at a different thread count.
+  const std::string path = temp_journal("killed");
+  CampaignSpec spec;
+  spec.name = "killable";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0),
+                synth_cell(5.0, 6.0)};
+  set_parallel_threads(1);
+  const std::string uninterrupted = run_campaign(spec, {path, true}).results_json();
+
+  std::string journal;
+  {
+    std::ifstream in(path, std::ios::binary);
+    journal.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  const std::size_t first_nl = journal.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << journal.substr(0, first_nl + 1);
+    out << journal.substr(first_nl + 1, 17);  // torn second record
+  }
+
+  CellCache::instance().clear();
+  g_synth_calls.store(0);
+  set_parallel_threads(8);
+  const CampaignReport resumed = run_campaign(spec, {path, false});
+  EXPECT_EQ(resumed.cells_resumed, 1u);
+  EXPECT_EQ(resumed.cells_computed, 2u);
+  EXPECT_EQ(g_synth_calls.load(), 2);
+  EXPECT_EQ(resumed.results_json(), uninterrupted)
+      << "kill-and-resume must reproduce the uninterrupted bytes";
+  // The repaired journal is again a complete checkpoint.
+  EXPECT_EQ(read_campaign_journal(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, ResultsInvariantAcrossThreadCounts) {
+  CampaignSpec spec;
+  spec.name = "threads";
+  for (double a = 0.0; a < 6.0; a += 1.0) {
+    spec.cells.push_back(synth_cell(a, 2.0 * a + 1.0));
+  }
+  set_parallel_threads(1);
+  const std::string baseline = run_campaign(spec).results_json();
+  for (std::size_t threads : {2u, 8u}) {
+    CellCache::instance().clear();
+    set_parallel_threads(threads);
+    EXPECT_EQ(run_campaign(spec).results_json(), baseline)
+        << "thread count " << threads;
+  }
+}
+
+TEST_F(CampaignTest, FreshOptionTruncatesJournal) {
+  const std::string path = temp_journal("fresh");
+  CampaignSpec spec;
+  spec.name = "fresh";
+  spec.cells = {synth_cell(1.0, 2.0)};
+  run_campaign(spec, {path, true});
+  CellCache::instance().clear();
+  g_synth_calls.store(0);
+  const CampaignReport report = run_campaign(spec, {path, /*fresh=*/true});
+  EXPECT_EQ(report.cells_resumed, 0u);
+  EXPECT_EQ(report.cells_computed, 1u);
+  EXPECT_EQ(g_synth_calls.load(), 1);
+  EXPECT_EQ(read_campaign_journal(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, ObsCountersSurfaceCacheAndResumeTraffic) {
+  obs::MetricsRegistry registry;
+  obs::install({&registry, nullptr});
+  const std::string path = temp_journal("metrics");
+  CampaignSpec spec;
+  spec.name = "metered";
+  spec.cells = {synth_cell(1.0, 2.0), synth_cell(3.0, 4.0),
+                synth_cell(1.0, 2.0)};  // one duplicate -> one cache hit
+  run_campaign(spec, {path, true});
+  CellCache::instance().clear();
+  run_campaign(spec, {path, false});  // all three resumed
+  obs::install_null();
+
+  EXPECT_EQ(registry.counter("campaign.cells.total").value(), 6u);
+  EXPECT_EQ(registry.counter("campaign.cells.computed").value(), 2u);
+  EXPECT_EQ(registry.counter("campaign.cells.resumed").value(), 3u);
+  EXPECT_EQ(registry.counter("campaign.cache.hits").value(), 1u);
+  EXPECT_EQ(registry.counter("campaign.cache.misses").value(), 2u);
+  const std::string snapshot = registry.snapshot_json();
+  EXPECT_NE(snapshot.find("campaign.cells.resumed"), std::string::npos);
+  EXPECT_NE(snapshot.find("campaign.cell.seconds"), std::string::npos)
+      << "per-cell latency histogram missing from snapshot";
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, Fig9AndFig13ShareGainAnchorCells) {
+  const CampaignSpec fig9 = fig9_campaign(10);
+  const CampaignSpec fig13 = fig13_campaign(10, 2);
+  ASSERT_EQ(fig9.cells.size(), 10u);
+  // Fig. 13 carries the Fig. 9 water-tank anchors at N=1 and N=8: the spec
+  // objects hash identically, so the memo cache evaluates them once.
+  std::size_t shared = 0;
+  for (const auto& a : fig9.cells) {
+    for (const auto& b : fig13.cells) {
+      if (a.content_hash() == b.content_hash()) ++shared;
+    }
+  }
+  EXPECT_EQ(shared, 2u);
+  // Every built-in campaign names only registered evaluator kinds.
+  register_builtin_cell_evaluators();
+  for (const auto* spec : {&fig9, &fig13}) {
+    for (const auto& cell : spec->cells) {
+      EXPECT_TRUE(has_cell_evaluator(cell.kind)) << cell.kind;
+    }
+  }
+  for (const auto& cell : x13_campaign(2).cells) {
+    EXPECT_TRUE(has_cell_evaluator(cell.kind)) << cell.kind;
+  }
+}
+
+TEST_F(CampaignTest, BuiltinGainCellIsDeterministicAcrossThreads) {
+  register_builtin_cell_evaluators();
+  CampaignSpec spec;
+  spec.name = "gain_smoke";
+  spec.cells.push_back(fig9_campaign(/*gain_trials=*/4).cells[0]);
+  set_parallel_threads(1);
+  const std::string one = run_campaign(spec).results_json();
+  CellCache::instance().clear();
+  set_parallel_threads(8);
+  const std::string eight = run_campaign(spec).results_json();
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one.find("\"p50\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -110,5 +110,26 @@ TEST(JsonWriter, IncompleteIsReported) {
   EXPECT_FALSE(w.complete());
 }
 
+TEST(JsonFindNumber, PullsFieldsBackOutOfWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("p50", 85.25);
+  w.field("trials", std::size_t{150});
+  w.field("loss_db", -12.5);
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_DOUBLE_EQ(json_find_number(doc, "p50", 0.0), 85.25);
+  EXPECT_DOUBLE_EQ(json_find_number(doc, "trials", 0.0), 150.0);
+  EXPECT_DOUBLE_EQ(json_find_number(doc, "loss_db", 0.0), -12.5);
+}
+
+TEST(JsonFindNumber, FallbackWhenAbsentOrNotANumber) {
+  EXPECT_DOUBLE_EQ(json_find_number("{\"a\":1}", "b", -7.0), -7.0);
+  EXPECT_DOUBLE_EQ(json_find_number("{\"a\":\"text\"}", "a", -7.0), -7.0);
+  EXPECT_DOUBLE_EQ(json_find_number("", "a", 3.5), 3.5);
+  // Scientific notation and surrounding space are fine.
+  EXPECT_DOUBLE_EQ(json_find_number("{\"x\": 2.5e-3}", "x", 0.0), 2.5e-3);
+}
+
 }  // namespace
 }  // namespace ivnet

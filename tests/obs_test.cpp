@@ -97,6 +97,42 @@ TEST(StreamingQuantileTest, ExactBelowFiveObservations) {
   EXPECT_EQ(sq.estimate(), 3.0);
 }
 
+TEST(StreamingQuantileTest, ExactForOneThroughFourObservations) {
+  // Regression: below the five observations P^2 needs, estimate() must fall
+  // back to the exact sorted-sample quantile — not read uninitialized
+  // markers. Covers every count in 1..4 at several quantiles.
+  {
+    StreamingQuantile sq(0.9);
+    sq.observe(7.5);
+    EXPECT_EQ(sq.count(), 1u);
+    EXPECT_EQ(sq.estimate(), 7.5);  // any quantile of one sample is itself
+  }
+  {
+    StreamingQuantile lo(0.0), mid(0.5), hi(1.0);
+    for (double x : {10.0, 2.0}) {
+      lo.observe(x);
+      mid.observe(x);
+      hi.observe(x);
+    }
+    EXPECT_EQ(lo.estimate(), 2.0);
+    EXPECT_EQ(mid.estimate(), 6.0);  // midpoint interpolation
+    EXPECT_EQ(hi.estimate(), 10.0);
+  }
+  {
+    StreamingQuantile sq(0.25);
+    for (double x : {4.0, 1.0, 3.0}) sq.observe(x);
+    // rank = 0.25 * (3 - 1) = 0.5 -> halfway between 1 and 3.
+    EXPECT_EQ(sq.estimate(), 2.0);
+  }
+  {
+    StreamingQuantile sq(0.5);
+    for (double x : {9.0, 1.0, 5.0, 3.0}) sq.observe(x);
+    EXPECT_EQ(sq.count(), 4u);
+    // rank = 0.5 * 3 = 1.5 -> halfway between sorted[1]=3 and sorted[2]=5.
+    EXPECT_EQ(sq.estimate(), 4.0);
+  }
+}
+
 TEST(StreamingQuantileTest, P2TracksUniformMedian) {
   StreamingQuantile sq(0.5);
   std::uint64_t state = 99;

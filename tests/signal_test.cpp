@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "ivnet/common/rng.hpp"
 #include "ivnet/common/units.hpp"
+#include "ivnet/gen2/fm0.hpp"
 #include "ivnet/signal/correlate.hpp"
 #include "ivnet/signal/envelope.hpp"
 #include "ivnet/signal/fir.hpp"
@@ -136,6 +139,42 @@ TEST(Correlate, ComplexCorrelationPhaseInvariant) {
   EXPECT_NEAR(complex_correlation(a.samples, b.samples), 1.0, 1e-9);
 }
 
+TEST(Correlate, DegenerateInputsReturnZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> shorter = {1.0, 2.0};
+  const std::vector<double> constant = {4.0, 4.0, 4.0};
+  const std::vector<double> empty;
+  const std::vector<double> single = {7.0};
+  // Mismatched lengths, empty spans, zero variance (constant / length-1):
+  // all documented to return 0 rather than NaN.
+  EXPECT_EQ(normalized_correlation(a, shorter), 0.0);
+  EXPECT_EQ(normalized_correlation(empty, empty), 0.0);
+  EXPECT_EQ(normalized_correlation(a, constant), 0.0);
+  EXPECT_EQ(normalized_correlation(constant, constant), 0.0);
+  EXPECT_EQ(normalized_correlation(single, single), 0.0);
+  // Searching with a degenerate needle is equally quiet.
+  EXPECT_EQ(best_correlation(a, empty).value, 0.0);
+  EXPECT_EQ(best_correlation(shorter, a).value, 0.0);
+}
+
+TEST(Correlate, FindsFm0PreambleAtFinalValidOffset) {
+  // The tag's 12-half-bit FM0 preamble ("110100100011") planted at the LAST
+  // offset the sliding search can reach: offset = haystack - needle. An
+  // off-by-one in the search bound would miss it entirely.
+  const double blf_hz = 100e3;
+  const double fs = 800e3;
+  const auto needle = gen2::fm0_preamble_template(blf_hz, fs);
+  ASSERT_FALSE(needle.empty());
+  std::vector<double> haystack(needle.size() + 333, 0.0);
+  const std::size_t final_offset = haystack.size() - needle.size();
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    haystack[final_offset + i] = needle[i];
+  }
+  const auto peak = best_correlation(haystack, needle);
+  EXPECT_EQ(peak.offset, final_offset);
+  EXPECT_GT(peak.value, 0.99);
+}
+
 TEST(Fir, LowpassPassesDcRejectsHighFrequency) {
   const auto taps = design_lowpass(500.0, 10e3, 63);
   const auto dc = fir_filter(make_tone(0.0, 0.0, 512, 10e3), taps);
@@ -161,6 +200,31 @@ TEST(Fir, SawFilterRejectsOutOfBand) {
   EXPECT_GT(pass_amp, 0.9);
   // Rejection should be at least ~35 dB and bounded by the leakage floor.
   EXPECT_LT(amplitude_to_db(stop_amp / pass_amp), -35.0);
+}
+
+TEST(Fir, DesignLowpassRejectsInvalidArgumentsInReleaseToo) {
+  // These used to be assert-only and vanished under NDEBUG, silently
+  // designing aliased garbage taps. They now throw unconditionally — this
+  // test runs in the Release/ASan/TSan configs as well as Debug.
+  EXPECT_THROW(design_lowpass(5000.0, 10e3, 63), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(6000.0, 10e3, 63), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.0, 10e3, 63), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(-100.0, 10e3, 63), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(500.0, 10e3, 0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(500.0, 0.0, 63), std::invalid_argument);
+  EXPECT_NO_THROW(design_lowpass(4999.0, 10e3, 1));
+}
+
+TEST(Fir, DesignBandpassRejectsInvalidBandEdges) {
+  EXPECT_THROW(design_bandpass(2200.0, 1800.0, 10e3, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(2000.0, 2000.0, 10e3, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(-10.0, 2000.0, 10e3, 101),
+               std::invalid_argument);
+  EXPECT_THROW(design_bandpass(1800.0, 5001.0, 10e3, 101),
+               std::invalid_argument);
+  EXPECT_NO_THROW(design_bandpass(0.0, 2000.0, 10e3, 101));
 }
 
 TEST(Noise, AwgnPowerMatchesRequest) {

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # The CI pipeline, runnable locally: default build + full test suite, the
 # same suite under AddressSanitizer and ThreadSanitizer (the determinism
-# tests exercise 1/2/8-thread pools, so TSan sees real contention), a small
+# tests exercise 1/2/8-thread pools, so TSan sees real contention), a
+# Debug spot-check of the DSP input-validation and campaign suites (the
+# other legs are NDEBUG builds), a small
 # traced sweep whose metrics/trace artifacts are archived and smoke-checked
-# as JSON, and — when gcovr is installed — a line-coverage floor on the
+# as JSON, a campaign kill-and-resume determinism check (SIGKILL mid-run,
+# resume from the journal, byte-compare against an uninterrupted run across
+# 1/2/8-thread pools), and — when gcovr is installed — a line-coverage
+# floor on the
 # protocol, impairment, and observability layers (src/ivnet/gen2,
 # src/ivnet/impair, src/ivnet/obs).
 #
@@ -36,6 +41,14 @@ build_and_test build-asan -DIVNET_SANITIZE=address
 echo "=== ci: ThreadSanitizer ==="
 build_and_test build-tsan -DIVNET_SANITIZE=thread
 
+echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
+# The default/ASan/TSan legs build RelWithDebInfo (NDEBUG), which is where
+# the fir design validation used to vanish. Pin that the throwing contract
+# and the DSP/campaign suites hold in an assert-enabled Debug build too.
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test campaign_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|campaign_test'
+
 echo "=== ci: traced sweep artifacts ==="
 ARTIFACT_DIR="${ARTIFACT_DIR:-build-ci/artifacts}"
 mkdir -p "$ARTIFACT_DIR"
@@ -62,6 +75,43 @@ PY
 else
   echo "ci: python3 not installed, artifacts archived but not parse-checked"
 fi
+
+echo "=== ci: campaign kill-and-resume determinism ==="
+# A campaign SIGKILL'd mid-run must resume from its journal and produce
+# byte-identical final JSON to an uninterrupted run — across different
+# IVNET_THREADS on every leg (1 for the reference, 2 for the killed run,
+# 8 for the resume). Wherever the kill lands (before, between, or after
+# cell journal appends), the resumed bytes must match.
+CAMPAIGN_DIR="$ARTIFACT_DIR/campaign"
+mkdir -p "$CAMPAIGN_DIR"
+CAMPAIGN_TRIALS="${CAMPAIGN_TRIALS:-12000}"
+IVNET_THREADS=1 build-ci/tools/ivnet campaign run --bench fig9 \
+    --trials "$CAMPAIGN_TRIALS" --fresh \
+    --journal "$CAMPAIGN_DIR/ref.jsonl" --out "$CAMPAIGN_DIR/ref.json"
+IVNET_THREADS=2 build-ci/tools/ivnet campaign run --bench fig9 \
+    --trials "$CAMPAIGN_TRIALS" --fresh \
+    --journal "$CAMPAIGN_DIR/killed.jsonl" \
+    --out "$CAMPAIGN_DIR/killed.json" &
+victim=$!
+sleep 0.4
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+build-ci/tools/ivnet campaign status --bench fig9 \
+    --trials "$CAMPAIGN_TRIALS" --journal "$CAMPAIGN_DIR/killed.jsonl"
+IVNET_THREADS=8 build-ci/tools/ivnet campaign resume --bench fig9 \
+    --trials "$CAMPAIGN_TRIALS" \
+    --journal "$CAMPAIGN_DIR/killed.jsonl" \
+    --out "$CAMPAIGN_DIR/resumed.json" \
+    --metrics-out "$CAMPAIGN_DIR/resume_metrics.json"
+cmp "$CAMPAIGN_DIR/ref.json" "$CAMPAIGN_DIR/resumed.json" || {
+  echo "ci: resumed campaign JSON differs from uninterrupted run" >&2
+  exit 1
+}
+grep -q 'campaign.cells.resumed' "$CAMPAIGN_DIR/resume_metrics.json" || {
+  echo "ci: resume metrics snapshot missing campaign counters" >&2
+  exit 1
+}
+echo "ci: kill-and-resume output byte-identical across 1/2/8 threads"
 
 # Coverage gates only where the tool exists — the growth container has no
 # gcovr — unless the caller asked for coverage explicitly, in which case a

@@ -7,6 +7,8 @@
 //                  [--antennas N] [--distance M | --depth M] [--json]
 //   ivnet vitals   [--rounds K]               sensor-read dialogues (swine)
 //   ivnet safety   [--antennas N] [--duty D] [--json]
+//   ivnet campaign run|status|resume --bench fig9|fig13|x13
+//                  [--journal FILE] [--out FILE] [--trials N] [--fresh]
 //   ivnet help
 //
 // Global flags (any command):
@@ -19,12 +21,14 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ivnet/common/json.hpp"
 #include "ivnet/common/units.hpp"
 #include "ivnet/cib/optimizer.hpp"
 #include "ivnet/obs/obs.hpp"
 #include "ivnet/sim/calibration.hpp"
+#include "ivnet/sim/campaign.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/planner.hpp"
 #include "ivnet/sim/safety.hpp"
@@ -36,6 +40,7 @@ using namespace ivnet;
 
 struct Args {
   std::string command;
+  std::vector<std::string> positional;  ///< non-flag tokens after the command
   std::map<std::string, std::string> flags;
 
   bool has(const std::string& name) const { return flags.count(name) > 0; }
@@ -54,7 +59,10 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) continue;
+    if (token.rfind("--", 0) != 0) {
+      args.positional.push_back(token);  // e.g. `campaign run`
+      continue;
+    }
     token.erase(0, 2);
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       args.flags[token] = argv[++i];
@@ -313,6 +321,96 @@ int cmd_deploy(const Args& args) {
   return plan.feasible ? 0 : 1;
 }
 
+bool write_file(const std::string& path, const std::string& text);
+
+/// Build the requested figure campaign. Unknown bench => empty name.
+CampaignSpec campaign_from(const Args& args) {
+  const std::string bench = args.get("bench", "fig9");
+  const auto trials = static_cast<std::size_t>(args.get_num("trials", 150));
+  if (bench == "fig9") return fig9_campaign(trials);
+  if (bench == "fig13") {
+    return fig13_campaign(
+        trials, static_cast<std::size_t>(args.get_num("range-trials", 15)));
+  }
+  if (bench == "x13") {
+    return x13_campaign(static_cast<std::size_t>(args.get_num("trials", 48)));
+  }
+  return {};
+}
+
+int cmd_campaign(const Args& args) {
+  const std::string sub =
+      args.positional.empty() ? "run" : args.positional.front();
+  const CampaignSpec spec = campaign_from(args);
+  if (spec.name.empty()) {
+    std::fprintf(stderr,
+                 "ivnet campaign: unknown --bench '%s' "
+                 "(expected fig9|fig13|x13)\n",
+                 args.get("bench", "fig9").c_str());
+    return 2;
+  }
+  const std::string journal =
+      args.get("journal", "campaign_" + spec.name + ".jsonl");
+
+  if (sub == "status") {
+    // Report journal coverage without evaluating anything.
+    const auto entries = read_campaign_journal(journal);
+    std::size_t done = 0;
+    for (const auto& cell : spec.cells) {
+      const std::uint64_t hash = cell.content_hash();
+      for (const auto& entry : entries) {
+        if (entry.hash == hash) {
+          ++done;
+          break;
+        }
+      }
+    }
+    if (args.has("json")) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("campaign", spec.name);
+      w.field("journal", journal);
+      w.field("cells_total", spec.cells.size());
+      w.field("cells_done", done);
+      w.field("journal_records", entries.size());
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("campaign %s: %zu/%zu cells journaled in %s\n",
+                  spec.name.c_str(), done, spec.cells.size(),
+                  journal.c_str());
+    }
+    return 0;
+  }
+  if (sub != "run" && sub != "resume") {
+    std::fprintf(stderr,
+                 "ivnet campaign: unknown subcommand '%s' "
+                 "(expected run|status|resume)\n",
+                 sub.c_str());
+    return 2;
+  }
+
+  CampaignOptions options;
+  options.journal_path = journal;
+  // `run --fresh` discards the checkpoint; `resume` never does.
+  options.fresh = sub == "run" && args.has("fresh");
+  const CampaignReport report = run_campaign(spec, options);
+
+  const std::string results = report.results_json();
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !write_file(out, results)) return 1;
+  if (args.has("json")) {
+    std::printf("%s\n", results.c_str());
+    return 0;
+  }
+  std::printf("campaign %s: %zu cells (%zu computed, %zu resumed, "
+              "%zu cache hits) -> %s\n",
+              report.name.c_str(), report.cells_total, report.cells_computed,
+              report.cells_resumed, report.cache_hits,
+              out.empty() ? journal.c_str() : out.c_str());
+  return 0;
+}
+
 int cmd_help() {
   std::printf(
       "ivnet — In-Vivo Networking (SIGCOMM'18) reproduction CLI\n\n"
@@ -324,7 +422,10 @@ int cmd_help() {
       "  vitals   [--rounds K]              gastric sensor-read dialogues\n"
       "  safety   [--antennas N] [--duty D] [--distance M] [--json]\n"
       "  deploy   --scenario air|water|gastric|subcut [--tag std|mini]\n"
-      "           [--depth M] [--reads-per-minute R] [--json]\n");
+      "           [--depth M] [--reads-per-minute R] [--json]\n"
+      "  campaign run|status|resume --bench fig9|fig13|x13\n"
+      "           [--journal FILE] [--out FILE] [--trials N]\n"
+      "           [--range-trials N] [--fresh] [--json]\n");
   return 0;
 }
 
@@ -348,6 +449,7 @@ int dispatch(const Args& args) {
   if (args.command == "vitals") return cmd_vitals(args);
   if (args.command == "safety") return cmd_safety(args);
   if (args.command == "deploy") return cmd_deploy(args);
+  if (args.command == "campaign") return cmd_campaign(args);
   return cmd_help();
 }
 
