@@ -70,14 +70,15 @@ Fm0DecodeResult fm0_decode(std::span<const double> signal, std::size_t num_bits,
       fm0_preamble_halfbits().size() + 2 * num_bits + 2;
   if (signal.size() < total_halves * spb) return result;
 
-  // Locate the preamble at either polarity.
+  // Locate the preamble at either polarity. The template-side correlation
+  // statistics are hoisted out of the scan (bitwise-identical results).
+  const CorrelationNeedle cached(tmpl);
   double best = 0.0;
   std::size_t best_off = 0;
   bool inverted = false;
   const std::size_t last_start = signal.size() - total_halves * spb;
   for (std::size_t off = 0; off <= last_start; ++off) {
-    const double c =
-        normalized_correlation(signal.subspan(off, tmpl.size()), tmpl);
+    const double c = cached.correlate(signal.subspan(off, tmpl.size()));
     if (std::abs(c) > std::abs(best)) {
       best = c;
       best_off = off;

@@ -109,12 +109,14 @@ MillerDecodeResult miller_decode(Miller mode, std::span<const double> signal,
   const std::size_t total_chips = preamble_chips + 2 * m * (num_bits + 1);
   if (signal.size() < total_chips * spc) return result;
 
+  // Hoist the template-side correlation statistics out of the scan
+  // (bitwise-identical results).
+  const CorrelationNeedle cached(tmpl);
   double best = 0.0;
   std::size_t best_off = 0;
   const std::size_t last = signal.size() - total_chips * spc;
   for (std::size_t off = 0; off <= last; ++off) {
-    const double c =
-        normalized_correlation(signal.subspan(off, tmpl.size()), tmpl);
+    const double c = cached.correlate(signal.subspan(off, tmpl.size()));
     if (std::abs(c) > std::abs(best)) {
       best = c;
       best_off = off;

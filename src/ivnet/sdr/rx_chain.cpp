@@ -1,6 +1,7 @@
 #include "ivnet/sdr/rx_chain.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "ivnet/signal/noise.hpp"
 #include "ivnet/signal/resampler.hpp"
@@ -15,6 +16,11 @@ RxChain::RxChain(RxChainConfig config) : config_(config) {
 }
 
 RxCapture RxChain::process(const Waveform& antenna_signal, Rng& rng) const {
+  return process(antenna_signal, rng, DspWorkspace::tls());
+}
+
+RxCapture RxChain::process(const Waveform& antenna_signal, Rng& rng,
+                           DspWorkspace& ws) const {
   RxCapture capture;
   // Hardware: impairments first (they act on the analog signal), then
   // thermal noise referred to the chain's noise figure over the full rate.
@@ -33,7 +39,14 @@ RxCapture RxChain::process(const Waveform& antenna_signal, Rng& rng) const {
     }
   }
 
-  if (saw_) wave = saw_->apply(wave);
+  if (saw_) {
+    // Filter into a workspace buffer, then recycle the pre-SAW storage.
+    Waveform filtered;
+    filtered.samples = ws.acquire_cplx(0);
+    saw_->apply(wave, filtered, ws);
+    std::swap(wave, filtered);
+    ws.release(std::move(filtered.samples));
+  }
 
   // Digital scrubbing.
   if (config_.correct_dc) capture.removed_dc = remove_dc(wave);
@@ -44,7 +57,7 @@ RxCapture RxChain::process(const Waveform& antenna_signal, Rng& rng) const {
   if (config_.correct_iq) {
     capture.estimated_imbalance = correct_iq_imbalance(wave);
   }
-  if (config_.decimation > 1) wave = decimate(wave, config_.decimation);
+  if (config_.decimation > 1) wave = decimate(wave, config_.decimation, ws);
 
   capture.samples = std::move(wave);
   return capture;

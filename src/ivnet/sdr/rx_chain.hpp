@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "ivnet/common/rng.hpp"
+#include "ivnet/signal/dsp_workspace.hpp"
 #include "ivnet/signal/fir.hpp"
 #include "ivnet/signal/iq.hpp"
 #include "ivnet/signal/waveform.hpp"
@@ -46,8 +47,14 @@ class RxChain {
 
   /// Run the chain over an antenna-referred waveform: inject hardware
   /// impairments and thermal noise, clip at the ADC, band-filter, then
-  /// apply the configured digital corrections and decimation.
+  /// apply the configured digital corrections and decimation. Scratch
+  /// comes from DspWorkspace::tls().
   RxCapture process(const Waveform& antenna_signal, Rng& rng) const;
+
+  /// As above with SAW/decimation scratch checked out of `ws` (sessions
+  /// processing many captures share one workspace across trials).
+  RxCapture process(const Waveform& antenna_signal, Rng& rng,
+                    DspWorkspace& ws) const;
 
  private:
   RxChainConfig config_;

@@ -24,6 +24,32 @@ struct CorrelationPeak {
 /// whose single sample equals its own mean).
 double normalized_correlation(std::span<const double> a, std::span<const double> b);
 
+/// Precomputed needle-side statistics for repeated window correlations.
+///
+/// A sliding preamble search evaluates normalized_correlation at every
+/// offset, re-deriving the needle's mean, deviations, and norm each time —
+/// roughly 40% of the work for a quantity that never changes. This caches
+/// them once; correlate() then only computes the window-side sums. Each
+/// accumulator sees the identical sequence of adds the one-shot kernel
+/// performs, so the result is bitwise-identical to
+/// normalized_correlation(window, needle) — the fast path under
+/// best_correlation, sliding_correlation, and the FM0/Miller preamble
+/// searches.
+class CorrelationNeedle {
+ public:
+  explicit CorrelationNeedle(std::span<const double> needle);
+
+  std::size_t size() const { return deviations_.size(); }
+
+  /// Bitwise-equal to normalized_correlation(window, original needle).
+  /// Returns 0 when window.size() != size() or either side is degenerate.
+  double correlate(std::span<const double> window) const;
+
+ private:
+  std::vector<double> deviations_;  // needle[i] - mean(needle)
+  double norm_sq_ = 0.0;            // sum of squared deviations
+};
+
 /// Slide `needle` over `haystack` and return the best normalized correlation.
 /// Returns {0, 0} when the needle is longer than the haystack or empty.
 CorrelationPeak best_correlation(std::span<const double> haystack,

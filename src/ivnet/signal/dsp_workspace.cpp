@@ -1,0 +1,38 @@
+#include "ivnet/signal/dsp_workspace.hpp"
+
+namespace ivnet {
+
+std::vector<double> DspWorkspace::acquire_real(std::size_t n) {
+  std::vector<double> buf;
+  if (!real_pool_.empty()) {
+    buf = std::move(real_pool_.back());
+    real_pool_.pop_back();
+  }
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<cplx> DspWorkspace::acquire_cplx(std::size_t n) {
+  std::vector<cplx> buf;
+  if (!cplx_pool_.empty()) {
+    buf = std::move(cplx_pool_.back());
+    cplx_pool_.pop_back();
+  }
+  buf.resize(n);
+  return buf;
+}
+
+void DspWorkspace::release(std::vector<double>&& buf) {
+  real_pool_.push_back(std::move(buf));
+}
+
+void DspWorkspace::release(std::vector<cplx>&& buf) {
+  cplx_pool_.push_back(std::move(buf));
+}
+
+DspWorkspace& DspWorkspace::tls() {
+  static thread_local DspWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace ivnet

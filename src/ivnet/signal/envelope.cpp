@@ -6,11 +6,16 @@
 
 namespace ivnet {
 
-std::vector<double> envelope(const Waveform& wave) {
-  std::vector<double> env(wave.samples.size());
+void envelope(const Waveform& wave, std::vector<double>& out) {
+  out.resize(wave.samples.size());
   for (std::size_t i = 0; i < wave.samples.size(); ++i) {
-    env[i] = std::abs(wave.samples[i]);
+    out[i] = std::abs(wave.samples[i]);
   }
+}
+
+std::vector<double> envelope(const Waveform& wave) {
+  std::vector<double> env;
+  envelope(wave, env);
   return env;
 }
 

@@ -1,10 +1,13 @@
 #include "ivnet/signal/fir.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
 #include "ivnet/common/units.hpp"
+#include "ivnet/signal/fir_core.hpp"
+#include "ivnet/signal/phasor.hpp"
 
 namespace ivnet {
 namespace {
@@ -72,36 +75,41 @@ std::vector<double> design_bandpass(double low_hz, double high_hz,
   return lp;
 }
 
+void fir_filter(const Waveform& wave, std::span<const double> taps,
+                Waveform& out, DspWorkspace& ws) {
+  const std::size_t n = wave.samples.size();
+  out.sample_rate_hz = wave.sample_rate_hz;
+  out.samples.resize(n);
+  // SoA: a complex sample convolved with real taps is two independent real
+  // convolutions; split lanes keep the core loop's loads contiguous.
+  ScopedBuffer<double> re(ws, n), im(ws, n), out_re(ws, n), out_im(ws, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    re.data()[i] = wave.samples[i].real();
+    im.data()[i] = wave.samples[i].imag();
+  }
+  detail::fir_same(re.data(), n, taps.data(), taps.size(), out_re.data());
+  detail::fir_same(im.data(), n, taps.data(), taps.size(), out_im.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.samples[i] = cplx{out_re.data()[i], out_im.data()[i]};
+  }
+}
+
 Waveform fir_filter(const Waveform& wave, std::span<const double> taps) {
   Waveform out;
-  out.sample_rate_hz = wave.sample_rate_hz;
-  out.samples.assign(wave.samples.size(), cplx{0.0, 0.0});
-  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() - 1) / 2;
-  const auto n = static_cast<std::ptrdiff_t>(wave.samples.size());
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    cplx acc{0.0, 0.0};
-    for (std::size_t t = 0; t < taps.size(); ++t) {
-      const std::ptrdiff_t src = i + delay - static_cast<std::ptrdiff_t>(t);
-      if (src >= 0 && src < n) acc += taps[t] * wave.samples[src];
-    }
-    out.samples[i] = acc;
-  }
+  fir_filter(wave, taps, out, DspWorkspace::tls());
   return out;
+}
+
+void fir_filter(std::span<const double> x, std::span<const double> taps,
+                std::vector<double>& out) {
+  out.resize(x.size());
+  detail::fir_same(x.data(), x.size(), taps.data(), taps.size(), out.data());
 }
 
 std::vector<double> fir_filter(std::span<const double> x,
                                std::span<const double> taps) {
-  std::vector<double> out(x.size(), 0.0);
-  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() - 1) / 2;
-  const auto n = static_cast<std::ptrdiff_t>(x.size());
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::size_t t = 0; t < taps.size(); ++t) {
-      const std::ptrdiff_t src = i + delay - static_cast<std::ptrdiff_t>(t);
-      if (src >= 0 && src < n) acc += taps[t] * x[src];
-    }
-    out[i] = acc;
-  }
+  std::vector<double> out;
+  fir_filter(x, taps, out);
   return out;
 }
 
@@ -113,29 +121,34 @@ SawFilter::SawFilter(double center_hz, double bandwidth_hz, double rejection_db,
       sample_rate_hz_(sample_rate_hz),
       lowpass_taps_(design_lowpass(bandwidth_hz / 2.0, sample_rate_hz, 101)) {}
 
-Waveform SawFilter::apply(const Waveform& in) const {
+void SawFilter::apply(const Waveform& in, Waveform& out,
+                      DspWorkspace& ws) const {
   // Shift the passband down to DC, low-pass, shift back. Add a small leakage
   // of the unfiltered input to model finite stopband rejection.
-  Waveform shifted = in;
   const double dphi = -kTwoPi * center_hz_ / sample_rate_hz_;
-  const cplx step = std::polar(1.0, dphi);
-  cplx rot{1.0, 0.0};
-  for (auto& s : shifted.samples) {
-    s *= rot;
-    rot *= step;
+  Waveform shifted;
+  shifted.sample_rate_hz = in.sample_rate_hz;
+  shifted.samples = ws.acquire_cplx(in.samples.size());
+  PhasorRotator rot(0.0, dphi);
+  for (std::size_t i = 0; i < in.samples.size(); ++i) {
+    shifted.samples[i] = in.samples[i] * rot.value();
+    rot.advance();
   }
-  Waveform filtered = fir_filter(shifted, lowpass_taps_);
-  rot = cplx{1.0, 0.0};
-  const cplx unstep = std::polar(1.0, -dphi);
-  for (auto& s : filtered.samples) {
-    s *= rot;
-    rot *= unstep;
-  }
+  fir_filter(shifted, lowpass_taps_, out, ws);
+  ws.release(std::move(shifted.samples));
+
   const double leak = db_to_amplitude(-rejection_db_);
-  for (std::size_t i = 0; i < filtered.samples.size(); ++i) {
-    filtered.samples[i] += leak * in.samples[i];
+  PhasorRotator unrot(0.0, -dphi);
+  for (std::size_t i = 0; i < out.samples.size(); ++i) {
+    out.samples[i] = out.samples[i] * unrot.value() + leak * in.samples[i];
+    unrot.advance();
   }
-  return filtered;
+}
+
+Waveform SawFilter::apply(const Waveform& in) const {
+  Waveform out;
+  apply(in, out, DspWorkspace::tls());
+  return out;
 }
 
 }  // namespace ivnet

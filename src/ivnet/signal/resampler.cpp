@@ -6,9 +6,9 @@
 
 #include "ivnet/common/units.hpp"
 #include "ivnet/signal/fir.hpp"
+#include "ivnet/signal/fir_core.hpp"
 
 namespace ivnet {
-namespace {
 
 /// The ONE anti-alias design both decimate overloads share. The two copies
 /// used to spell the cutoff differently (`0.45 * out_rate / 2.0 * 2.0` vs
@@ -20,37 +20,49 @@ namespace {
 /// the transition band ends AT the new Nyquist and anything that would
 /// alias sits in the >= 50 dB Hamming stopband (the alias-rejection test
 /// pins >= 40 dB).
-std::vector<double> anti_alias_taps(double in_rate_hz, std::size_t factor) {
+std::vector<double> decimation_taps(double in_rate_hz, std::size_t factor) {
   const double out_rate = in_rate_hz / static_cast<double>(factor);
   return design_lowpass(0.45 * out_rate, in_rate_hz, 34 * factor + 1);
 }
 
-}  // namespace
-
-Waveform decimate(const Waveform& in, std::size_t factor) {
+Waveform decimate(const Waveform& in, std::size_t factor, DspWorkspace& ws) {
   assert(factor >= 1);
   if (factor == 1) return in;
-  const Waveform filtered =
-      fir_filter(in, anti_alias_taps(in.sample_rate_hz, factor));
+  const auto taps = decimation_taps(in.sample_rate_hz, factor);
+  const std::size_t n = in.samples.size();
+  const std::size_t out_len = (n + factor - 1) / factor;
   Waveform out;
   out.sample_rate_hz = in.sample_rate_hz / static_cast<double>(factor);
-  out.samples.reserve(filtered.samples.size() / factor + 1);
-  for (std::size_t i = 0; i < filtered.samples.size(); i += factor) {
-    out.samples.push_back(filtered.samples[i]);
+  out.samples.resize(out_len);
+  // SoA split + decimating FIR: only the kept output samples are computed.
+  ScopedBuffer<double> re(ws, n), im(ws, n), out_re(ws, out_len),
+      out_im(ws, out_len);
+  for (std::size_t i = 0; i < n; ++i) {
+    re.data()[i] = in.samples[i].real();
+    im.data()[i] = in.samples[i].imag();
+  }
+  detail::fir_decimate(re.data(), n, taps.data(), taps.size(), factor,
+                       out_re.data());
+  detail::fir_decimate(im.data(), n, taps.data(), taps.size(), factor,
+                       out_im.data());
+  for (std::size_t k = 0; k < out_len; ++k) {
+    out.samples[k] = cplx{out_re.data()[k], out_im.data()[k]};
   }
   return out;
+}
+
+Waveform decimate(const Waveform& in, std::size_t factor) {
+  return decimate(in, factor, DspWorkspace::tls());
 }
 
 std::vector<double> decimate(std::span<const double> in, std::size_t factor,
                              double sample_rate_hz) {
   assert(factor >= 1);
   if (factor == 1) return std::vector<double>(in.begin(), in.end());
-  const auto filtered = fir_filter(in, anti_alias_taps(sample_rate_hz, factor));
-  std::vector<double> out;
-  out.reserve(filtered.size() / factor + 1);
-  for (std::size_t i = 0; i < filtered.size(); i += factor) {
-    out.push_back(filtered[i]);
-  }
+  const auto taps = decimation_taps(sample_rate_hz, factor);
+  std::vector<double> out((in.size() + factor - 1) / factor);
+  detail::fir_decimate(in.data(), in.size(), taps.data(), taps.size(), factor,
+                       out.data());
   return out;
 }
 
@@ -68,48 +80,75 @@ RationalResampler::RationalResampler(std::size_t up, std::size_t down,
   taps_ = design_lowpass(cutoff, virtual_rate, up_ * taps_per_phase);
   // Gain compensation: zero-stuffing loses a factor of up.
   for (auto& t : taps_) t *= static_cast<double>(up_);
+  // Polyphase decomposition: output phase p (virtual index = p mod up)
+  // convolves input samples with taps p, p+up, p+2up, ... in ascending
+  // prototype order — the only taps the zero-stuffed stream can hit there.
+  phase_taps_.resize(up_);
+  for (std::size_t p = 0; p < up_; ++p) {
+    for (std::size_t t = p; t < taps_.size(); t += up_) {
+      phase_taps_[p].push_back(taps_[t]);
+    }
+  }
 }
 
-std::vector<double> RationalResampler::apply(std::span<const double> in) const {
-  if (up_ == 1 && down_ == 1) return std::vector<double>(in.begin(), in.end());
-  const std::size_t out_len = in.size() * up_ / down_;
-  std::vector<double> out(out_len, 0.0);
-  const auto half = static_cast<std::ptrdiff_t>(taps_.size() / 2);
+void RationalResampler::apply(std::span<const double> in,
+                              std::vector<double>& out) const {
+  if (up_ == 1 && down_ == 1) {
+    out.assign(in.begin(), in.end());
+    return;
+  }
+  const std::size_t out_len = in.size() * up_ / down_;  // floor: see header
+  out.resize(out_len);
+  const std::size_t half = taps_.size() / 2;
+  const std::size_t in_n = in.size();
   for (std::size_t n = 0; n < out_len; ++n) {
-    // Virtual upsampled index of this output sample.
-    const std::size_t v = n * down_;
+    // Virtual upsampled index of this output sample, group-delay shifted.
+    const std::size_t vph = n * down_ + half;
+    const std::size_t phase = vph % up_;
+    // Input sample hit by the first bank tap (largest source index).
+    const std::size_t src0 = vph / up_;
+    const std::vector<double>& bank = phase_taps_[phase];
+    // bank[k] pairs with in[src0 - k]; clip k to the input's extent. The
+    // ascending-k walk visits the prototype taps in the same ascending
+    // order the naive zero-stuffed scan does, so the accumulation is
+    // bitwise-identical.
+    const std::size_t k_begin = src0 >= in_n ? src0 - (in_n - 1) : 0;
+    const std::size_t k_end = std::min(bank.size(), src0 + 1);
     double acc = 0.0;
-    for (std::size_t t = 0; t < taps_.size(); ++t) {
-      const std::ptrdiff_t vin =
-          static_cast<std::ptrdiff_t>(v) + half - static_cast<std::ptrdiff_t>(t);
-      if (vin < 0) continue;
-      // Only multiples of up_ carry input samples (zero stuffing).
-      if (vin % static_cast<std::ptrdiff_t>(up_) != 0) continue;
-      const std::ptrdiff_t src = vin / static_cast<std::ptrdiff_t>(up_);
-      if (src >= static_cast<std::ptrdiff_t>(in.size())) continue;
-      acc += taps_[t] * in[static_cast<std::size_t>(src)];
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      acc += bank[k] * in[src0 - k];
     }
     out[n] = acc;
   }
+}
+
+std::vector<double> RationalResampler::apply(std::span<const double> in) const {
+  std::vector<double> out;
+  apply(in, out);
   return out;
 }
 
-Waveform RationalResampler::apply(const Waveform& in) const {
-  std::vector<double> re(in.samples.size()), im(in.samples.size());
-  for (std::size_t i = 0; i < in.samples.size(); ++i) {
-    re[i] = in.samples[i].real();
-    im[i] = in.samples[i].imag();
+Waveform RationalResampler::apply(const Waveform& in, DspWorkspace& ws) const {
+  const std::size_t n = in.samples.size();
+  ScopedBuffer<double> re(ws, n), im(ws, n), re_out(ws, 0), im_out(ws, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    re.data()[i] = in.samples[i].real();
+    im.data()[i] = in.samples[i].imag();
   }
-  const auto re_out = apply(re);
-  const auto im_out = apply(im);
+  apply(*re, *re_out);
+  apply(*im, *im_out);
   Waveform out;
   out.sample_rate_hz =
       in.sample_rate_hz * static_cast<double>(up_) / static_cast<double>(down_);
   out.samples.resize(re_out.size());
   for (std::size_t i = 0; i < re_out.size(); ++i) {
-    out.samples[i] = cplx{re_out[i], im_out[i]};
+    out.samples[i] = cplx{re_out.data()[i], im_out.data()[i]};
   }
   return out;
+}
+
+Waveform RationalResampler::apply(const Waveform& in) const {
+  return apply(in, DspWorkspace::tls());
 }
 
 std::vector<double> fractional_delay(std::span<const double> in,

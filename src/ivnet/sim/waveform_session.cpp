@@ -55,9 +55,14 @@ WaveformSessionReport WaveformSession::run(const Scenario& scenario,
   TagDevice device(session_tag);
 
   // --- Charging: CW from every antenna through the real radio chain.
+  // Envelope buffers are workspace checkouts: the charge envelope alone is
+  // charge_time_s * fs samples (200k at the defaults), reallocated per
+  // trial before the workspace existed.
   const auto cw_waves = tx_.transmit_cw(config_.charge_time_s);
   const auto rx_charge = receive(channel, cw_waves, plan.offsets_hz());
-  const auto charge_env = envelope(rx_charge);
+  ScopedBuffer<double> charge_env_buf(workspace_, 0);
+  std::vector<double>& charge_env = *charge_env_buf;
+  envelope(rx_charge, charge_env);
   report.peak_envelope_v = max_value(charge_env);
   const auto charge_result = device.receive_downlink(charge_env, fs);
   report.powered = charge_result.powered;
@@ -82,7 +87,9 @@ WaveformSessionReport WaveformSession::run(const Scenario& scenario,
 
   const auto cmd_waves = tx_.radios().transmit(pie_env, t_start);
   const auto rx_cmd = receive(channel, cmd_waves, plan.offsets_hz());
-  const auto cmd_env = envelope(rx_cmd);
+  ScopedBuffer<double> cmd_env_buf(workspace_, 0);
+  std::vector<double>& cmd_env = *cmd_env_buf;
+  envelope(rx_cmd, cmd_env);
   const auto downlink = device.receive_downlink(cmd_env, fs);
   report.command_decoded = downlink.command_decoded;
   if (!downlink.reply.has_value()) return report;
@@ -144,10 +151,13 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   GastricSensor sensor(rng());
   sensor.publish(sensor_time_s, device.state_machine().memory());
 
-  // Charge and check power-up.
+  // Charge and check power-up (envelope buffers recycled via workspace_,
+  // as in run()).
   const auto cw_waves = tx_.transmit_cw(config_.charge_time_s);
   const auto rx_charge = receive(channel, cw_waves, plan.offsets_hz());
-  const auto charge_env = envelope(rx_charge);
+  ScopedBuffer<double> charge_env_buf(workspace_, 0);
+  std::vector<double>& charge_env = *charge_env_buf;
+  envelope(rx_charge, charge_env);
   const auto charge_result = device.receive_downlink(charge_env, fs);
   report.powered = charge_result.powered;
   // Simulated-time trace track: the session timeline starts at the sensor
@@ -185,6 +195,8 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
   const RecoveryPolicy& policy = config_.recovery;
   int command_index = 0;
   SessionStage trace_stage = SessionStage::kQuery;
+  // One envelope buffer serves every command attempt of the dialogue.
+  ScopedBuffer<double> cmd_env_buf(workspace_, 0);
   auto send_once = [&](const gen2::Bits& command,
                        bool with_preamble) -> std::optional<gen2::Bits> {
     const auto pie_env =
@@ -199,7 +211,8 @@ SensorReadReport WaveformSession::run_sensor_read(const Scenario& scenario,
     report.commands_sent = command_index;
     const auto waves = tx_.radios().transmit(pie_env, t_start);
     const auto rx = receive(channel, waves, plan.offsets_hz());
-    const auto downlink = device.receive_downlink(envelope(rx), fs);
+    envelope(rx, *cmd_env_buf);
+    const auto downlink = device.receive_downlink(*cmd_env_buf, fs);
     if (!downlink.reply.has_value()) {
       // Silent tag: the reader burns its full reply window before retrying.
       ++report.recovery.timeouts;

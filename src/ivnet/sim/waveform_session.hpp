@@ -17,6 +17,7 @@
 #include "ivnet/cib/transmitter.hpp"
 #include "ivnet/impair/recovery.hpp"
 #include "ivnet/reader/oob_reader.hpp"
+#include "ivnet/signal/dsp_workspace.hpp"
 #include "ivnet/sim/experiment.hpp"
 
 namespace ivnet {
@@ -64,7 +65,9 @@ struct SensorReadReport {
 };
 
 /// Runs sample-accurate sessions. One instance owns the radio array (PLL
-/// phases persist across runs until new_trial()).
+/// phases persist across runs until new_trial()), plus a DspWorkspace so
+/// the megasample envelope buffers of the charge/query/backscatter stages
+/// are recycled across commands and trials instead of reallocated.
 class WaveformSession {
  public:
   WaveformSession(WaveformSessionConfig config, Rng& rng);
@@ -90,6 +93,10 @@ class WaveformSession {
  private:
   WaveformSessionConfig config_;
   CibTransmitter tx_;
+  /// Scratch arena for the session's sample-domain DSP. Single-threaded,
+  /// like the session itself: parallel trial loops give each worker its
+  /// own WaveformSession.
+  DspWorkspace workspace_;
 };
 
 }  // namespace ivnet

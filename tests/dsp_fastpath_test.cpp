@@ -1,0 +1,332 @@
+// Pins the DSP fast path (three-region FIR, polyphase decimate, per-phase
+// rational resampler, CorrelationNeedle, PhasorRotator, DspWorkspace)
+// against the retained naive oracles in signal/naive_dsp.hpp.
+//
+// The bitwise-equivalence policy (docs/ARCHITECTURE.md, "DSP fast path"):
+// a kernel rewrite may reorganize WHICH outputs are computed and how loops
+// are tiled, but each output must be produced by the identical sequence of
+// floating-point operations — so these tests compare with memcmp-strict
+// equality, not tolerances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ivnet/common/rng.hpp"
+#include "ivnet/common/units.hpp"
+#include "ivnet/signal/correlate.hpp"
+#include "ivnet/signal/fir.hpp"
+#include "ivnet/signal/naive_dsp.hpp"
+#include "ivnet/signal/phasor.hpp"
+#include "ivnet/signal/resampler.hpp"
+
+namespace ivnet {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+Waveform random_wave(std::size_t n, std::uint64_t seed, double fs = 800e3) {
+  Rng rng(seed);
+  Waveform w;
+  w.sample_rate_hz = fs;
+  w.samples.resize(n);
+  for (auto& s : w.samples) {
+    s = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  return w;
+}
+
+void expect_bitwise_eq(std::span<const double> got,
+                       std::span<const double> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(double)), 0)
+        << what << ": sample " << i << " got " << got[i] << " want "
+        << want[i];
+  }
+}
+
+void expect_bitwise_eq(const Waveform& got, const Waveform& want,
+                       const char* what) {
+  ASSERT_EQ(got.samples.size(), want.samples.size()) << what;
+  EXPECT_DOUBLE_EQ(got.sample_rate_hz, want.sample_rate_hz) << what;
+  for (std::size_t i = 0; i < got.samples.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got.samples[i], &want.samples[i], sizeof(cplx)), 0)
+        << what << ": sample " << i << " got " << got.samples[i] << " want "
+        << want.samples[i];
+  }
+}
+
+// --- Three-region FIR vs the bounds-checked oracle. -----------------------
+
+TEST(FirFastPath, RealBitwiseMatchesNaiveAcrossLengths) {
+  const auto taps = design_lowpass(40e3, 800e3, 31);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{64}, std::size_t{1001}}) {
+    const auto x = random_signal(n, 7 + n);
+    expect_bitwise_eq(fir_filter(x, taps), naive::fir_filter(x, taps),
+                      "real fir");
+  }
+}
+
+TEST(FirFastPath, RealBitwiseMatchesNaiveEvenTapCount) {
+  // fir_filter accepts arbitrary (including even-length, asymmetric) tap
+  // spans even though design_lowpass only emits odd counts.
+  const std::vector<double> taps = {0.31, -0.2, 0.52, 0.11, -0.07, 0.4};
+  for (std::size_t n : {std::size_t{3}, std::size_t{6}, std::size_t{257}}) {
+    const auto x = random_signal(n, 100 + n);
+    expect_bitwise_eq(fir_filter(x, taps), naive::fir_filter(x, taps),
+                      "even-tap fir");
+  }
+}
+
+TEST(FirFastPath, ComplexBitwiseMatchesNaive) {
+  const auto taps = design_lowpass(40e3, 800e3, 101);
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{257},
+                        std::size_t{4096}}) {
+    const auto w = random_wave(n, 11 + n);
+    expect_bitwise_eq(fir_filter(w, taps), naive::fir_filter(w, taps),
+                      "complex fir");
+  }
+}
+
+TEST(FirFastPath, InputShorterThanFilterBitwiseMatchesNaive) {
+  const auto taps = design_lowpass(40e3, 800e3, 101);
+  const auto x = random_signal(17, 3);
+  expect_bitwise_eq(fir_filter(x, taps), naive::fir_filter(x, taps),
+                    "short-input fir");
+}
+
+TEST(FirFastPath, ImpulseResponseEqualsTaps) {
+  // "Same" alignment: a centered impulse reproduces the taps in order,
+  // shifted by the group delay.
+  const std::vector<double> taps = {0.1, -0.5, 1.0, 0.25, -0.125};
+  std::vector<double> x(64, 0.0);
+  const std::size_t pos = 32;
+  x[pos] = 1.0;
+  const auto y = fir_filter(x, taps);
+  const std::size_t delay = (taps.size() - 1) / 2;
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    EXPECT_DOUBLE_EQ(y[pos - delay + t], taps[t]) << "tap " << t;
+  }
+}
+
+TEST(FirFastPath, Linearity) {
+  const auto taps = design_lowpass(60e3, 800e3, 41);
+  const auto x = random_signal(300, 21);
+  const auto y = random_signal(300, 22);
+  std::vector<double> mix(300);
+  for (std::size_t i = 0; i < mix.size(); ++i) mix[i] = 2.0 * x[i] - 0.5 * y[i];
+  const auto fx = fir_filter(x, taps);
+  const auto fy = fir_filter(y, taps);
+  const auto fmix = fir_filter(mix, taps);
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_NEAR(fmix[i], 2.0 * fx[i] - 0.5 * fy[i], 1e-12);
+  }
+}
+
+// --- Polyphase decimation vs filter-everything-then-discard. --------------
+
+TEST(DecimateFastPath, ComplexBitwiseMatchesNaive) {
+  for (std::size_t factor : {1u, 2u, 3u, 8u, 16u}) {
+    const auto w = random_wave(3000, 40 + factor);
+    expect_bitwise_eq(decimate(w, factor), naive::decimate(w, factor),
+                      "complex decimate");
+  }
+}
+
+TEST(DecimateFastPath, RealBitwiseMatchesNaive) {
+  const double fs = 800e3;
+  for (std::size_t factor : {1u, 2u, 3u, 8u, 16u}) {
+    const auto x = random_signal(3000, 60 + factor);
+    expect_bitwise_eq(decimate(x, factor, fs), naive::decimate(x, factor, fs),
+                      "real decimate");
+  }
+}
+
+TEST(DecimateFastPath, InputShorterThanFilterBitwiseMatchesNaive) {
+  // factor 16 designs 34*16+1 = 545 taps; a 100-sample input is all edges.
+  const auto w = random_wave(100, 77);
+  expect_bitwise_eq(decimate(w, 16), naive::decimate(w, 16),
+                    "short-input decimate");
+}
+
+// --- Polyphase rational resampler vs the zero-stuffed scan. ---------------
+
+TEST(ResamplerFastPath, BitwiseMatchesNaive) {
+  struct Ratio {
+    std::size_t up, down;
+  };
+  for (const auto [up, down] : {Ratio{3, 2}, Ratio{7, 5}, Ratio{2, 5},
+                                Ratio{5, 3}, Ratio{1, 1}, Ratio{16, 1},
+                                Ratio{1, 8}}) {
+    const RationalResampler rs(up, down);
+    for (std::size_t n : {std::size_t{0}, std::size_t{9}, std::size_t{1000}}) {
+      const auto x = random_signal(n, up * 31 + down * 7 + n);
+      expect_bitwise_eq(rs.apply(x), naive::resample(rs, x),
+                        "rational resample");
+    }
+  }
+}
+
+TEST(ResamplerFastPath, ComplexLanesMatchRealPath) {
+  const RationalResampler rs(7, 5);
+  const auto w = random_wave(500, 99, 10e3);
+  std::vector<double> re(w.samples.size()), im(w.samples.size());
+  for (std::size_t i = 0; i < w.samples.size(); ++i) {
+    re[i] = w.samples[i].real();
+    im[i] = w.samples[i].imag();
+  }
+  const auto out = rs.apply(w);
+  const auto re_out = rs.apply(re);
+  const auto im_out = rs.apply(im);
+  ASSERT_EQ(out.samples.size(), re_out.size());
+  EXPECT_DOUBLE_EQ(out.sample_rate_hz, 14e3);
+  for (std::size_t i = 0; i < re_out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.samples[i].real(), re_out[i]);
+    EXPECT_DOUBLE_EQ(out.samples[i].imag(), im_out[i]);
+  }
+}
+
+TEST(ResamplerLengthContract, FloorsOutputLength) {
+  // out_len = floor(n * up / down), documented in resampler.hpp. The
+  // off-by-one-prone ratios: 3/2 and 7/5 produce fractional virtual
+  // lengths for odd/most n.
+  struct Case {
+    std::size_t up, down, n, want;
+  };
+  for (const auto [up, down, n, want] :
+       {Case{3, 2, 5, 7}, Case{3, 2, 4, 6}, Case{3, 2, 1, 1},
+        Case{7, 5, 9, 12}, Case{7, 5, 5, 7}, Case{7, 5, 4, 5},
+        Case{2, 5, 4, 1}, Case{2, 5, 2, 0}, Case{2, 5, 0, 0}}) {
+    const RationalResampler rs(up, down);
+    const auto x = random_signal(n, 123 + n);
+    EXPECT_EQ(rs.apply(x).size(), want)
+        << up << "/" << down << " of " << n << " samples";
+    EXPECT_EQ(rs.apply(x).size(), n * up / down);
+  }
+}
+
+// --- CorrelationNeedle vs per-offset normalized_correlation. --------------
+
+TEST(CorrelateFastPath, SlidingMatchesPerOffsetOracle) {
+  const auto haystack = random_signal(400, 5);
+  const auto needle = random_signal(37, 6);
+  const auto fast = sliding_correlation(haystack, needle);
+  ASSERT_EQ(fast.size(), haystack.size() - needle.size() + 1);
+  for (std::size_t off = 0; off < fast.size(); ++off) {
+    const double want = normalized_correlation(
+        std::span(haystack).subspan(off, needle.size()), needle);
+    ASSERT_EQ(std::memcmp(&fast[off], &want, sizeof(double)), 0)
+        << "offset " << off;
+  }
+}
+
+TEST(CorrelateFastPath, NeedleHandlesDegenerateWindows) {
+  const std::vector<double> constant(8, 3.0);
+  const auto needle = random_signal(8, 9);
+  const CorrelationNeedle cached(needle);
+  EXPECT_EQ(cached.correlate(constant), 0.0);  // zero-variance window
+  EXPECT_EQ(cached.correlate(std::span<const double>{}), 0.0);
+  const CorrelationNeedle flat(constant);
+  EXPECT_EQ(flat.correlate(needle), 0.0);  // zero-variance needle
+}
+
+TEST(CorrelateFastPath, BestCorrelationFindsEmbeddedNeedle) {
+  const auto needle = random_signal(25, 13);
+  std::vector<double> haystack = random_signal(300, 14);
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    haystack[120 + i] = needle[i];
+  }
+  const auto peak = best_correlation(haystack, needle);
+  EXPECT_EQ(peak.offset, 120u);
+  EXPECT_NEAR(peak.value, 1.0, 1e-12);
+}
+
+// --- PhasorRotator drift regression (satellite). --------------------------
+
+TEST(Phasor, RenormBoundsDriftAtTwoToTwentySteps) {
+  // One full SawFilter-scale rotation: 2^20 advances of a 0.37 rad step.
+  // The re-anchored phasor must sit within 1e-9 of the exact value; the
+  // bare product accumulates ~steps * eps and is orders of magnitude off
+  // the unit circle by then.
+  const double dphi = 0.37;
+  constexpr std::size_t kSteps = 1u << 20;
+  PhasorRotator rot(0.0, dphi);
+  cplx bare{1.0, 0.0};
+  const cplx step = std::polar(1.0, dphi);
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    rot.advance();
+    bare *= step;
+  }
+  const cplx exact = std::polar(1.0, dphi * static_cast<double>(kSteps));
+  EXPECT_LT(std::abs(rot.value() - exact), 1e-9);
+  EXPECT_NEAR(std::abs(rot.value()), 1.0, 1e-11);
+  // The regression half: renorm must beat the bare product, which this
+  // far out has drifted past the anchored error bound.
+  EXPECT_LT(std::abs(rot.value() - exact), std::abs(bare - exact));
+}
+
+TEST(Phasor, MatchesPolarWithinRenormWindow) {
+  const double phase0 = 0.9;
+  const double dphi = -0.011;
+  PhasorRotator rot(phase0, dphi);
+  for (std::size_t k = 0; k < 3 * PhasorRotator::kRenormInterval; ++k) {
+    const cplx exact = std::polar(1.0, phase0 + dphi * static_cast<double>(k));
+    ASSERT_LT(std::abs(rot.value() - exact), 1e-11) << "step " << k;
+    rot.advance();
+  }
+}
+
+// --- DspWorkspace recycling. ----------------------------------------------
+
+TEST(DspWorkspace, RecyclesReleasedCapacity) {
+  DspWorkspace ws;
+  auto big = ws.acquire_real(100000);
+  const double* storage = big.data();
+  ws.release(std::move(big));
+  EXPECT_EQ(ws.pooled_real(), 1u);
+  // A smaller checkout reuses the parked capacity, not a fresh allocation.
+  auto reused = ws.acquire_real(500);
+  EXPECT_EQ(reused.data(), storage);
+  EXPECT_EQ(ws.pooled_real(), 0u);
+  ws.release(std::move(reused));
+}
+
+TEST(DspWorkspace, ScopedBufferReturnsOnScopeExit) {
+  DspWorkspace ws;
+  {
+    ScopedBuffer<double> a(ws, 64);
+    ScopedBuffer<cplx> b(ws, 32);
+    EXPECT_EQ(a.size(), 64u);
+    EXPECT_EQ(b.size(), 32u);
+    EXPECT_EQ(ws.pooled_real(), 0u);
+    EXPECT_EQ(ws.pooled_cplx(), 0u);
+  }
+  EXPECT_EQ(ws.pooled_real(), 1u);
+  EXPECT_EQ(ws.pooled_cplx(), 1u);
+}
+
+TEST(DspWorkspace, SteadyStateFilteringDoesNotGrowPools) {
+  // Repeated SawFilter::apply calls through one workspace settle onto a
+  // fixed set of buffers.
+  DspWorkspace ws;
+  const SawFilter saw(0.0, 40e3, 50.0, 800e3);
+  const auto in = random_wave(4096, 31);
+  Waveform out;
+  saw.apply(in, out, ws);
+  const std::size_t real_after_one = ws.pooled_real();
+  const std::size_t cplx_after_one = ws.pooled_cplx();
+  for (int i = 0; i < 5; ++i) saw.apply(in, out, ws);
+  EXPECT_EQ(ws.pooled_real(), real_after_one);
+  EXPECT_EQ(ws.pooled_cplx(), cplx_after_one);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -121,6 +121,37 @@ TEST(FractionalDelay, HalfSampleInterpolates) {
   EXPECT_NEAR(y[3], 0.5, 1e-12);
 }
 
+TEST(FractionalDelay, NegativeDelayShiftsEarlierAndZeroFillsTail) {
+  const std::vector<double> x = {0, 0, 1, 0, 4, 5};
+  const auto y = fractional_delay(x, -2.0);
+  ASSERT_EQ(y.size(), x.size());
+  EXPECT_NEAR(y[0], 1.0, 1e-12);  // x[2] advanced two samples
+  EXPECT_NEAR(y[2], 4.0, 1e-12);
+  EXPECT_NEAR(y[3], 5.0, 1e-12);
+  // Samples past the end of the input read the zero-filled boundary.
+  EXPECT_EQ(y[4], 0.0);
+  EXPECT_EQ(y[5], 0.0);
+}
+
+TEST(FractionalDelay, DelayBeyondLengthIsAllZeros) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  for (const double d : {4.0, 9.5, -4.0, -100.25}) {
+    const auto y = fractional_delay(x, d);
+    ASSERT_EQ(y.size(), x.size()) << "delay " << d;
+    for (const double v : y) EXPECT_EQ(v, 0.0) << "delay " << d;
+  }
+}
+
+TEST(FractionalDelay, BoundaryStraddleInterpolatesAgainstZero) {
+  // A fractional delay one half-sample past the edge blends the edge
+  // sample with the implicit zero outside the signal.
+  const std::vector<double> x = {8.0, 0, 0, 6.0};
+  const auto y = fractional_delay(x, 0.5);
+  EXPECT_NEAR(y[0], 4.0, 1e-12);  // 0.5 * x[-1=0] + 0.5 * x[0]
+  const auto z = fractional_delay(x, -0.5);
+  EXPECT_NEAR(z[3], 3.0, 1e-12);  // 0.5 * x[3] + 0.5 * x[4=0]
+}
+
 TEST(Iq, DcOffsetInjectedAndRemoved) {
   IqImpairments imp;
   imp.dc_i = 0.2;

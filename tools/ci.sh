@@ -23,6 +23,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 COVERAGE_LINE_FLOOR="${COVERAGE_LINE_FLOOR:-80}"
+ARTIFACT_DIR="${ARTIFACT_DIR:-build-ci/artifacts}"
 
 build_and_test() {
   local dir="$1"
@@ -35,6 +36,29 @@ build_and_test() {
 echo "=== ci: default build ==="
 build_and_test build-ci
 
+echo "=== ci: DSP kernel before/after table (non-gating) ==="
+# Times the polyphase/three-region fast paths against the naive oracles
+# they replaced (signal/naive_dsp.hpp) and prints the speedup table.
+# Informational only: timings on shared CI hardware are too noisy to gate
+# on, so a failure here never fails the pipeline.
+mkdir -p "$ARTIFACT_DIR"
+if ! build-ci/bench/bench_kernels_json \
+    "$ARTIFACT_DIR/BENCH_kernels.json" "$ARTIFACT_DIR/BENCH_dsp.json"; then
+  echo "ci: DSP bench failed (non-gating), continuing" >&2
+elif command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR/BENCH_dsp.json" <<'PY' || \
+      echo "ci: DSP bench table parse failed (non-gating), continuing" >&2
+import json, sys
+bench = json.load(open(sys.argv[1]))
+rows = bench["results"]
+print(f"ci: DSP fast path vs naive oracle ({bench['samples']} samples)")
+print(f"  {'kernel':<18} {'naive ns/op':>14} {'fast ns/op':>14} {'speedup':>9}")
+for r in rows:
+    print(f"  {r['name']:<18} {r['naive_ns_per_op']:>14.0f} "
+          f"{r['fast_ns_per_op']:>14.0f} {r['speedup']:>8.2f}x")
+PY
+fi
+
 echo "=== ci: AddressSanitizer ==="
 build_and_test build-asan -DIVNET_SANITIZE=address
 
@@ -46,11 +70,10 @@ echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
 # the fir design validation used to vanish. Pin that the throwing contract
 # and the DSP/campaign suites hold in an assert-enabled Debug build too.
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-debug -j "$JOBS" --target signal_test dsp_test campaign_test
-ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|campaign_test'
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test'
 
 echo "=== ci: traced sweep artifacts ==="
-ARTIFACT_DIR="${ARTIFACT_DIR:-build-ci/artifacts}"
 mkdir -p "$ARTIFACT_DIR"
 build-ci/tools/ivnet vitals --rounds 4 \
     --metrics-out "$ARTIFACT_DIR/metrics.json" \
