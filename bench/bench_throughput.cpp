@@ -1,0 +1,180 @@
+// Sessions/sec headline for the batched run-to-completion pipeline: the
+// x13-style impairment waterfall workload (7 SNR points, retries=2,
+// BER probe + full session per trial) timed scalar vs batched at batch
+// sizes 1/8/32/128 and pool sizes 1/2/8. Every timed run's JSON is also
+// compared against the scalar single-thread reference, so the table only
+// ever reports speedups for BITWISE-identical results.
+//
+//   ./bench_throughput [output-path]    (default: BENCH_throughput.json)
+//
+// Output: a human-readable table on stdout plus BENCH_throughput.json with
+// one row per (threads, batch_size) — sessions_per_sec, speedup over the
+// same-thread scalar run, and the identity flag — and a headline block
+// (best batched vs scalar at the largest pool).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ivnet/common/json.hpp"
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/common/rng.hpp"
+#include "ivnet/impair/waterfall.hpp"
+#include "ivnet/signal/gauss.hpp"
+
+namespace {
+
+using namespace ivnet;
+
+/// The x13 waterfall workload (bench_x13_impairment_waterfall's sweep):
+/// 7 SNR points spanning clean to collapsed, two retries, 128-bit BER
+/// frames. One trial = one raw-BER probe + one full charge->EPC session.
+WaterfallConfig workload(std::size_t batch_size) {
+  WaterfallConfig config;
+  config.snr_points_db = {30.0, 24.0, 18.0, 12.0, 8.0, 4.0, 0.0};
+  config.trials_per_point = 96;
+  config.payload_bits = 128;
+  config.link.recovery = RecoveryPolicy::retries(2);
+  config.batch.batch_size = batch_size;
+  return config;
+}
+
+std::string run_workload(std::size_t batch_size) {
+  WaterfallConfig config = workload(batch_size);
+  Rng rng(13);
+  return waterfall_json(run_ber_waterfall(config, rng));
+}
+
+/// Wall-seconds per workload run (median of `reps` timed runs after one
+/// warm-up, so a stray scheduling hiccup cannot skew a row).
+double seconds_per_run(std::size_t batch_size, int reps) {
+  (void)run_workload(batch_size);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)run_workload(batch_size);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    times.push_back(dt.count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct Row {
+  std::size_t threads;
+  std::size_t batch_size;
+  double sessions_per_sec;
+  double speedup_vs_scalar;  // same-thread scalar baseline
+  bool identical;            // JSON byte-equal to the scalar reference
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_throughput.json");
+  const std::size_t thread_counts[] = {1, 2, 8};
+  const std::size_t batch_sizes[] = {1, 8, 32, 128};
+  constexpr int kReps = 3;
+
+  const WaterfallConfig shape = workload(1);
+  const double sessions_per_workload = static_cast<double>(
+      shape.snr_points_db.size() * shape.trials_per_point);
+
+  set_parallel_threads(1);
+  const std::string reference = run_workload(1);
+
+  std::printf("batched trial pipeline, x13 waterfall workload "
+              "(%zu points x %zu trials, retries=2)\n",
+              shape.snr_points_db.size(), shape.trials_per_point);
+  std::printf("lockstep SIMD lanes: %s\n\n",
+              signal::gauss_simd_enabled() ? "avx2+fma" : "scalar-fma");
+  std::printf("%-8s %-8s %-14s %-10s %-9s\n", "threads", "batch",
+              "sessions/s", "speedup", "identical");
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : thread_counts) {
+    set_parallel_threads(threads);
+    double scalar_rate = 0.0;
+    for (const std::size_t batch : batch_sizes) {
+      const double seconds = seconds_per_run(batch, kReps);
+      Row row;
+      row.threads = threads;
+      row.batch_size = batch;
+      row.sessions_per_sec = sessions_per_workload / seconds;
+      if (batch == 1) scalar_rate = row.sessions_per_sec;
+      row.speedup_vs_scalar =
+          scalar_rate > 0.0 ? row.sessions_per_sec / scalar_rate : 0.0;
+      row.identical = run_workload(batch) == reference;
+      rows.push_back(row);
+      std::printf("%-8zu %-8zu %-14.0f %-10.2f %-9s\n", threads, batch,
+                  row.sessions_per_sec, row.speedup_vs_scalar,
+                  row.identical ? "yes" : "NO");
+    }
+  }
+  set_parallel_threads(0);
+
+  // Headline: best batched row vs the scalar row at the largest pool.
+  double scalar8 = 0.0, best8 = 0.0;
+  std::size_t best8_batch = 1;
+  bool all_identical = true;
+  for (const Row& row : rows) {
+    all_identical = all_identical && row.identical;
+    if (row.threads != thread_counts[2]) continue;
+    if (row.batch_size == 1) scalar8 = row.sessions_per_sec;
+    if (row.batch_size >= 32 && row.sessions_per_sec > best8) {
+      best8 = row.sessions_per_sec;
+      best8_batch = row.batch_size;
+    }
+  }
+  const double headline = scalar8 > 0.0 ? best8 / scalar8 : 0.0;
+  std::printf("\nheadline: %.0f sessions/s batched (batch %zu) vs %.0f "
+              "scalar at %zu threads -> %.2fx, outputs %s\n",
+              best8, best8_batch, scalar8, thread_counts[2], headline,
+              all_identical ? "bitwise-identical" : "DIVERGED");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("workload").begin_object()
+      .field("name", "x13_waterfall")
+      .field("snr_points", shape.snr_points_db.size())
+      .field("trials_per_point", shape.trials_per_point)
+      .field("payload_bits", shape.payload_bits)
+      .field("max_attempts", shape.link.recovery.max_attempts)
+      .field("sessions_per_run", sessions_per_workload)
+      .field("simd", signal::gauss_simd_enabled())
+      .end_object();
+  w.key("rows").begin_array();
+  for (const Row& row : rows) {
+    w.begin_object()
+        .field("threads", row.threads)
+        .field("batch_size", row.batch_size)
+        .field("sessions_per_sec", row.sessions_per_sec)
+        .field("speedup_vs_scalar", row.speedup_vs_scalar)
+        .field("identical", row.identical)
+        .end_object();
+  }
+  w.end_array();
+  w.key("headline").begin_object()
+      .field("threads", thread_counts[2])
+      .field("batch_size", best8_batch)
+      .field("sessions_per_sec", best8)
+      .field("scalar_sessions_per_sec", scalar8)
+      .field("speedup", headline)
+      .field("all_identical", all_identical)
+      .end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

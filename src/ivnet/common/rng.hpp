@@ -58,6 +58,13 @@ class Rng {
   /// determinism contract of the parallel trial loops.
   static Rng stream(std::uint64_t base_seed, std::uint64_t index);
 
+  /// Raw xoshiro256++ state, for lockstep multi-lane generation
+  /// (signal/gauss.cpp advances several generators with packed integer ops
+  /// that replicate operator() bit-for-bit). Not for general use: mutating
+  /// the state directly bypasses the cached Box-Muller pair.
+  const std::array<std::uint64_t, 4>& raw_state() const { return state_; }
+  void set_raw_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

@@ -49,26 +49,59 @@ PieDecodeResult pie_decode(std::span<const double> envelope,
   PieDecodeResult result;
   if (envelope.size() < 8) return result;
 
-  const double hi = *std::max_element(envelope.begin(), envelope.end());
-  const double lo = *std::min_element(envelope.begin(), envelope.end());
+  // Extrema in one pass with four independent accumulator chains: a naive
+  // max_element/min_element pair walks the record twice through a serial
+  // 4-cycle-latency max/min chain, which dominates the decode cost. The
+  // values are identical (min/max are exact and order-independent).
+  double hi0 = envelope[0], hi1 = envelope[0], hi2 = envelope[0],
+         hi3 = envelope[0];
+  double lo0 = envelope[0], lo1 = envelope[0], lo2 = envelope[0],
+         lo3 = envelope[0];
+  std::size_t i = 0;
+  for (; i + 4 <= envelope.size(); i += 4) {
+    hi0 = std::max(hi0, envelope[i]);
+    lo0 = std::min(lo0, envelope[i]);
+    hi1 = std::max(hi1, envelope[i + 1]);
+    lo1 = std::min(lo1, envelope[i + 1]);
+    hi2 = std::max(hi2, envelope[i + 2]);
+    lo2 = std::min(lo2, envelope[i + 2]);
+    hi3 = std::max(hi3, envelope[i + 3]);
+    lo3 = std::min(lo3, envelope[i + 3]);
+  }
+  for (; i < envelope.size(); ++i) {
+    hi0 = std::max(hi0, envelope[i]);
+    lo0 = std::min(lo0, envelope[i]);
+  }
+  const double hi = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
+  const double lo = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
   if (hi <= 0.0) return result;
   const double threshold = 0.5 * (hi + lo);
 
   // The tag's detector cannot track a carrier whose "high" level swings more
   // than the modulation depth margin (Eq. 7): measure the high-state
-  // fluctuation and reject commands beyond the tolerance.
-  double high_min = hi;
-  for (double v : envelope) {
-    if (v >= threshold) high_min = std::min(high_min, v);
+  // fluctuation and reject commands beyond the tolerance. Same four-chain
+  // unroll; a sample below threshold leaves its chain unchanged (hi is the
+  // identity for min over the high state).
+  double hm0 = hi, hm1 = hi, hm2 = hi, hm3 = hi;
+  i = 0;
+  for (; i + 4 <= envelope.size(); i += 4) {
+    hm0 = std::min(hm0, envelope[i] >= threshold ? envelope[i] : hi);
+    hm1 = std::min(hm1, envelope[i + 1] >= threshold ? envelope[i + 1] : hi);
+    hm2 = std::min(hm2, envelope[i + 2] >= threshold ? envelope[i + 2] : hi);
+    hm3 = std::min(hm3, envelope[i + 3] >= threshold ? envelope[i + 3] : hi);
   }
+  for (; i < envelope.size(); ++i) {
+    hm0 = std::min(hm0, envelope[i] >= threshold ? envelope[i] : hi);
+  }
+  const double high_min = std::min(std::min(hm0, hm1), std::min(hm2, hm3));
   if ((hi - high_min) / hi >= max_fluctuation) return result;
 
   // Falling edges of the sliced envelope.
   std::vector<std::size_t> falls;
-  for (std::size_t i = 1; i < envelope.size(); ++i) {
-    const bool prev = envelope[i - 1] >= threshold;
-    const bool curr = envelope[i] >= threshold;
-    if (prev && !curr) falls.push_back(i);
+  for (std::size_t k = 1; k < envelope.size(); ++k) {
+    const bool prev = envelope[k - 1] >= threshold;
+    const bool curr = envelope[k] >= threshold;
+    if (prev && !curr) falls.push_back(k);
   }
   if (falls.size() < 3) return result;
 

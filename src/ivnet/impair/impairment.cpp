@@ -5,16 +5,10 @@
 
 #include "ivnet/common/units.hpp"
 #include "ivnet/obs/obs.hpp"
+#include "ivnet/signal/gauss.hpp"
 
 namespace ivnet {
 namespace {
-
-/// Noise standard deviation that puts `snr_db` of noise under a signal of
-/// mean power `power`; negative when no noise should be added.
-double noise_sigma(double power, double snr_db) {
-  if (!std::isfinite(snr_db) || power <= 0.0) return -1.0;
-  return std::sqrt(power * from_db(-snr_db));
-}
 
 /// Phase random-walk increment sigma for a Lorentzian linewidth.
 double phase_step_sigma(double linewidth_hz, double sample_rate_hz) {
@@ -22,6 +16,11 @@ double phase_step_sigma(double linewidth_hz, double sample_rate_hz) {
 }
 
 }  // namespace
+
+double awgn_sigma(double power, double snr_db) {
+  if (!std::isfinite(snr_db) || power <= 0.0) return -1.0;
+  return std::sqrt(power * from_db(-snr_db));
+}
 
 double signal_mean_power(std::span<const double> x) {
   if (x.empty()) return 0.0;
@@ -31,14 +30,17 @@ double signal_mean_power(std::span<const double> x) {
 }
 
 void apply_awgn(std::vector<double>& x, double snr_db, Rng& rng) {
-  const double sigma = noise_sigma(signal_mean_power(x), snr_db);
+  const double sigma = awgn_sigma(signal_mean_power(x), snr_db);
   if (sigma < 0.0) return;
-  for (double& v : x) v += rng.normal(0.0, sigma);
+  // Real-envelope AWGN is the Monte-Carlo hot loop: use the deterministic
+  // inverse-CDF sampler (signal/gauss.hpp) so the batched lane pipeline can
+  // reproduce this exact byte sequence in lockstep. One raw draw per sample.
+  signal::axpy_awgn(rng, sigma, x);
 }
 
 void apply_awgn(Waveform& wave, double snr_db, Rng& rng) {
   const double power = mean_power(wave);
-  const double sigma = noise_sigma(power, snr_db);
+  const double sigma = awgn_sigma(power, snr_db);
   if (sigma < 0.0) return;
   // Split the noise power evenly across I and Q.
   const double per_axis = sigma / std::sqrt(2.0);

@@ -13,15 +13,15 @@
 namespace ivnet {
 namespace {
 
-gen2::Bits default_epc() {
+}  // namespace
+
+gen2::Bits default_link_epc() {
   gen2::Bits epc;
   gen2::append_bits(epc, 0xE2801160u, 32);
   gen2::append_bits(epc, 0x20000000u, 32);
   gen2::append_bits(epc, 0x00000001u, 32);
   return epc;
 }
-
-}  // namespace
 
 LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
                                             Rng& rng) {
@@ -70,8 +70,9 @@ LinkSessionReport run_impaired_link_session(const ImpairedLinkConfig& config,
   downlink_impair.bursts = config.impair.bursts;
   const ImpairmentChain downlink_chain(downlink_impair);
 
-  gen2::TagStateMachine tag(config.epc.empty() ? default_epc() : config.epc,
-                            base ^ 0x9e3779b97f4a7c15ull);
+  gen2::TagStateMachine tag(
+      config.epc.empty() ? default_link_epc() : config.epc,
+      base ^ 0x9e3779b97f4a7c15ull);
 
   // Session-local scratch arena: the brownout supply rails below are
   // rebuilt for the charge window and for every reply, so one recycled

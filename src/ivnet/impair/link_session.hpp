@@ -71,6 +71,10 @@ struct LinkSessionReport {
   ImpairmentTrace trace;      ///< bursts hit, samples erased, brownout
 };
 
+/// The 96-bit EPC an empty ImpairedLinkConfig::epc resolves to. Exposed so
+/// the batched pipeline seeds its lane tags with the identical identity.
+gen2::Bits default_link_epc();
+
 /// Run one full impaired session. Consumes exactly ONE draw from `rng`
 /// (the stream base): every command attempt derives its own counter-keyed
 /// sub-stream, so identical configs at different SNRs see the *same* noise

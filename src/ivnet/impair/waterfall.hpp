@@ -17,6 +17,7 @@
 
 #include "ivnet/impair/link_session.hpp"
 #include "ivnet/media/medium.hpp"
+#include "ivnet/sim/batch_pipeline.hpp"
 
 namespace ivnet {
 
@@ -42,7 +43,25 @@ struct WaterfallConfig {
   std::vector<double> snr_points_db = {30.0, 20.0, 10.0, 0.0};
   std::size_t trials_per_point = 32;
   std::size_t payload_bits = 128;  ///< frame length for the raw BER probe
+  /// Batched-pipeline knob: resolved size > 1 runs trials through the
+  /// lockstep lane engine (sim/batch_pipeline.hpp), bitwise-identical to
+  /// the scalar path; <= 1 keeps the original per-trial oracle loop.
+  BatchConfig batch{};
 };
+
+/// One raw-BER probe outcome (exposed so the batched pipeline's scalar
+/// fallback runs the exact waterfall oracle).
+struct BerProbeResult {
+  std::size_t bit_errors = 0;
+  bool frame_error = false;
+};
+
+/// The waterfall's raw-BER probe: random payload through the impaired
+/// uplink, decoded at the reader's correlation gate. An undecodable frame
+/// is charged half its bits. Consumes payload_bits draws for the payload,
+/// then whatever the impairment chain draws.
+BerProbeResult ber_probe_trial(const ImpairedLinkConfig& link,
+                               std::size_t payload_bits, Rng trial_rng);
 
 /// Sweep SNR. Consumes one rng draw (the stream base); trial t draws from
 /// Rng::stream sub-streams shared across all SNR points (common random
@@ -78,6 +97,7 @@ struct MatrixConfig {
   std::vector<double> snr_points_db = {30.0, 20.0, 10.0, 0.0};
   std::vector<std::size_t> antenna_counts = {1, 3, 10};
   std::size_t trials_per_cell = 24;
+  BatchConfig batch{};  ///< see WaterfallConfig::batch
 };
 
 /// Every media x SNR x antennas cell, trials shared-stream as above. Cells
@@ -99,6 +119,7 @@ struct DepthSweepConfig {
   double freq_hz = 915e6;
   std::vector<double> depths_m = {0.02, 0.04, 0.06, 0.08, 0.10, 0.12};
   std::size_t trials_per_point = 32;
+  BatchConfig batch{};  ///< see WaterfallConfig::batch
 };
 
 /// Success rate vs implant depth in one medium (loss from

@@ -6,7 +6,10 @@
 // the allocator traffic of a waveform-session trial. A DspWorkspace keeps
 // returned buffers on per-type free lists so steady-state trials run
 // allocation-free: the campaign engine shards thousands of cells, and each
-// cell's trials recycle the same few megasample buffers.
+// cell's trials recycle the same few megasample buffers. Checkouts are
+// best-fit by capacity (smallest parked buffer that already holds `n`), so
+// mixed-size checkout patterns — a batch cycling small envelopes and large
+// backscatter records — recycle instead of regrowing.
 //
 // Ownership rules (see docs/ARCHITECTURE.md, "DSP fast path"):
 //  - A workspace is single-threaded state. Give each session/thread its
@@ -50,6 +53,15 @@ class DspWorkspace {
   std::size_t pooled_real() const { return real_pool_.size(); }
   std::size_t pooled_cplx() const { return cplx_pool_.size(); }
 
+  /// Peak bytes of buffer capacity this workspace has grown (pooled plus
+  /// checked out), counting each buffer's capacity from the moment an
+  /// acquire grows it. Deterministic for a deterministic checkout sequence;
+  /// the batched pipeline reports it as the workspace.high_water_bytes
+  /// gauge so arena regrowth regressions show up in metrics snapshots.
+  /// Approximate in one corner: buffers a caller keeps instead of
+  /// releasing, and foreign buffers passed to release(), are not tracked.
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+
   /// Per-thread workspace used by the value-returning DSP convenience
   /// overloads (fir_filter, decimate, ...). Each pool worker gets its own,
   /// so the default path is both allocation-free in steady state and safe
@@ -57,8 +69,12 @@ class DspWorkspace {
   static DspWorkspace& tls();
 
  private:
+  void grow_live(std::size_t grown_bytes);
+
   std::vector<std::vector<double>> real_pool_;
   std::vector<std::vector<cplx>> cplx_pool_;
+  std::size_t live_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
 };
 
 /// RAII checkout: acquires on construction, releases on destruction, so a

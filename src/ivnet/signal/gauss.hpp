@@ -1,0 +1,81 @@
+// Deterministic elementwise Gaussian sampling for the AWGN hot path.
+//
+// Rng::normal() (Box-Muller) calls into libm's log/sin/cos, whose results
+// are not reproducible across a scalar and a vectorized evaluation — which
+// makes it impossible to run K trial sessions in lockstep lanes and stay
+// bitwise-identical to the one-trial-at-a-time path. This header provides
+// the sampler the batched pipeline is built on instead:
+//
+//   normal_from_bits(bits) — a pure elementwise map from one 64-bit draw to
+//   one standard-normal value via the AS241 inverse normal CDF (Wichura's
+//   PPND16 rational approximations, |err| < 1e-15 over the full range). The
+//   log needed in the tail region is a custom deterministic atanh-series
+//   (fast_log in gauss.cpp), not libm, so every code path is a fixed
+//   sequence of IEEE add/mul/div/sqrt/fma operations.
+//
+//   axpy_awgn(rng, sigma, x) — x[i] += sigma * normal_from_bits(rng())
+//   (as a fused fma), one raw draw per sample. This is THE scalar AWGN
+//   loop: impair/apply_awgn (real vectors) delegates here.
+//
+//   axpy_awgn_lanes(lanes, rngs, sigmas, inout, n) — the same update for up
+//   to kGaussLanes independent (rng, sigma, buffer) triples in lockstep.
+//   With AVX2+FMA this advances all four xoshiro256++ states with packed
+//   integer ops and evaluates the inverse CDF with packed fma — and is
+//   bitwise-identical to calling axpy_awgn per lane, because every packed
+//   instruction is the elementwise image of the scalar operation sequence
+//   (the scalar path deliberately uses std::fma where the packed path uses
+//   vfnmadd/vfmadd). This equivalence is pinned by batch_pipeline_test.
+//
+// All entry points are defined out-of-line in gauss.cpp, which is compiled
+// with a fixed flag set (-O3 -mavx2 -mfma -ffp-contract=off) regardless of
+// build type, so Debug, ASan, and Release builds produce the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "ivnet/common/rng.hpp"
+
+namespace ivnet::signal {
+
+/// Width of one packed lockstep lane group. Lane counts passed to
+/// axpy_awgn_lanes may exceed this: full groups of kGaussLanes run packed,
+/// leftover lanes take the scalar loop.
+inline constexpr std::size_t kGaussLanes = 4;
+
+/// Elementwise map from one raw 64-bit draw to one standard-normal value.
+/// Uses the top 52 bits as a uniform in (0,1) — u = (bits>>12 + 0.5)*2^-52 —
+/// then inverts the normal CDF. Pure function; deterministic on any host.
+double normal_from_bits(std::uint64_t bits);
+
+/// inout[i] = fma(sigma, normal_from_bits(rng()), inout[i]) for all i.
+/// Consumes exactly inout.size() raw draws from rng.
+void axpy_awgn(Rng& rng, double sigma, std::span<double> inout);
+
+/// dst[i] = fma(sigma, normal_from_bits(rng()), src[i]) — the same update
+/// as axpy_awgn but reading the clean signal from `src`, which skips the
+/// copy-into-place pass the in-place form needs. src may alias dst.
+/// Bitwise-identical to copying src into dst and calling axpy_awgn.
+void axpy_awgn_onto(Rng& rng, double sigma, const double* src,
+                    std::span<double> dst);
+
+/// Lockstep AWGN for `lanes` independent trials: lane k runs
+/// axpy_awgn(*rngs[k], sigmas[k], {inout[k], n}) — same results, same
+/// final rng states — but with full groups of kGaussLanes lanes advanced
+/// together; leftover lanes fall back to the scalar loop per lane.
+void axpy_awgn_lanes(std::size_t lanes, Rng* const* rngs, const double* sigmas,
+                     double* const* inout, std::size_t n);
+
+/// Source/destination form of axpy_awgn_lanes: lane k runs
+/// axpy_awgn_onto(*rngs[k], sigmas[k], src[k], {dst[k], n}). src[k] may
+/// alias dst[k] (the in-place form above delegates here).
+void axpy_awgn_lanes_onto(std::size_t lanes, Rng* const* rngs,
+                          const double* sigmas, const double* const* src,
+                          double* const* dst, std::size_t n);
+
+/// True when gauss.cpp was compiled with the packed AVX2+FMA lane path.
+/// Purely informational (bench/CI tables): results are identical either way.
+bool gauss_simd_enabled();
+
+}  // namespace ivnet::signal

@@ -1,0 +1,541 @@
+// Batched run-to-completion lane engine (see batch_pipeline.hpp).
+//
+// The lockstep session engine below is a restructuring — NOT a re-derivation
+// — of impair/link_session.cpp: every lane performs the exact operation
+// sequence of the scalar oracle (same elapsed_s accumulation order, same
+// per-attempt counter-keyed Rng streams, same adaptive-Q feedback points),
+// only interleaved across K lanes so the AWGN fills of equal-length records
+// can be generated four lanes at a time (signal/gauss.hpp). When editing
+// link_session.cpp, mirror the change here — batch_pipeline_test pins the
+// two paths memcmp-equal and will catch any drift.
+#include "ivnet/sim/batch_pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "ivnet/common/units.hpp"
+#include "ivnet/gen2/commands.hpp"
+#include "ivnet/gen2/crc.hpp"
+#include "ivnet/gen2/fm0.hpp"
+#include "ivnet/gen2/pie.hpp"
+#include "ivnet/gen2/tag_sm.hpp"
+#include "ivnet/impair/impairment.hpp"
+#include "ivnet/impair/recovery.hpp"
+#include "ivnet/impair/waterfall.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/reader/inventory.hpp"
+#include "ivnet/signal/gauss.hpp"
+
+namespace ivnet {
+namespace {
+
+std::size_t g_default_batch_override = 0;
+bool g_default_batch_overridden = false;
+
+/// Uplink SNR budget — the same expression as the scalar session and
+/// waterfall oracles (array gain once, tissue loss twice for the
+/// backscatter round trip).
+double uplink_budget_db(const ImpairedLinkConfig& link) {
+  const double array_gain_db =
+      10.0 * std::log10(static_cast<double>(
+                 std::max<std::size_t>(1, link.num_antennas)));
+  return link.snr_db + array_gain_db - 2.0 * link.medium_loss_db;
+}
+
+/// One lane needing an AWGN fill this round: `src` holds the clean record
+/// (often a shared cached envelope), `dst` is the lane's rx buffer (write
+/// target; may alias src for in-place fills), and `rng` is the lane's
+/// attempt stream positioned exactly where the scalar path's apply_awgn
+/// call site would be. Writing fma(sigma, g, src[i]) straight to dst is
+/// bitwise-identical to the scalar copy-then-add-in-place sequence and
+/// skips one full pass over the record.
+struct FillSlot {
+  Rng* rng;
+  double sigma;
+  const double* src;
+  double* dst;
+  std::size_t size;
+};
+
+/// Lockstep AWGN over a round's fill slots: lanes whose records have equal
+/// length go through the packed sampler in groups of kGaussLanes;
+/// leftovers and odd sizes take the scalar loop. Any grouping is bitwise-safe — each lane draws
+/// only from its own stream — so grouping is purely a throughput decision.
+void fill_awgn_groups(std::vector<FillSlot>& slots) {
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const FillSlot& a, const FillSlot& b) {
+                     return a.size < b.size;
+                   });
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    std::size_t j = i;
+    while (j < slots.size() && slots[j].size == slots[i].size) ++j;
+    const std::size_t n = slots[i].size;
+    while (j - i >= signal::kGaussLanes) {
+      Rng* rngs[signal::kGaussLanes];
+      double sigmas[signal::kGaussLanes];
+      const double* src[signal::kGaussLanes];
+      double* dst[signal::kGaussLanes];
+      for (std::size_t k = 0; k < signal::kGaussLanes; ++k) {
+        rngs[k] = slots[i + k].rng;
+        sigmas[k] = slots[i + k].sigma;
+        src[k] = slots[i + k].src;
+        dst[k] = slots[i + k].dst;
+      }
+      signal::axpy_awgn_lanes_onto(signal::kGaussLanes, rngs, sigmas, src,
+                                   dst, n);
+      obs::count("batch.lockstep_fills");
+      i += signal::kGaussLanes;
+    }
+    for (; i < j; ++i) {
+      signal::axpy_awgn_onto(*slots[i].rng, slots[i].sigma, slots[i].src,
+                             {slots[i].dst, n});
+      obs::count("batch.scalar_fills");
+    }
+  }
+  slots.clear();
+}
+
+/// Session telemetry identical to the scalar oracle's SessionTelemetry
+/// destructor — emitted once per lane at completion, so metrics snapshots
+/// match the scalar path (counters/histograms are order-independent).
+void emit_session_telemetry(const LinkSessionReport& report) {
+  obs::count("link.sessions");
+  obs::count(report.success ? "link.success" : "link.failed");
+  obs::observe("link.elapsed_s", report.elapsed_s);
+  record_recovery("link", report.recovery);
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep session engine
+// ---------------------------------------------------------------------------
+
+/// Per-batch caches: everything identical across lanes is built once. The
+/// cached values feed the SAME downstream computations the scalar path runs
+/// on its per-trial copies, so caching cannot change results — a Query
+/// envelope depends only on q, the EPC backscatter record only on the EPC.
+struct FastContext {
+  const ImpairedLinkConfig& cfg;
+  double fs;
+  double uplink_snr_db;
+  double downlink_snr_db;
+  double slot_s;
+  gen2::Bits query_rep;
+  std::array<std::vector<double>, 16> query_env;
+  std::array<double, 16> query_env_power{};
+  std::array<bool, 16> query_env_built{};
+  gen2::Bits epc_frame;
+  std::vector<double> epc_tx;
+  double epc_tx_power = -1.0;
+
+  explicit FastContext(const ImpairedLinkConfig& link, const gen2::Bits& epc)
+      : cfg(link), fs(link.sample_rate_hz) {
+    const double array_gain_db =
+        10.0 * std::log10(static_cast<double>(
+                   std::max<std::size_t>(1, link.num_antennas)));
+    uplink_snr_db =
+        link.snr_db + array_gain_db - 2.0 * link.medium_loss_db;
+    downlink_snr_db = link.snr_db + array_gain_db - link.medium_loss_db +
+                      link.downlink_snr_advantage_db;
+    slot_s = 20.0 * link.pie.tari_s;
+    query_rep = gen2::QueryRepCommand{}.encode();
+    epc_frame = gen2::TagStateMachine(epc, 0).epc_frame();
+    epc_tx = gen2::fm0_modulate(epc_frame, link.blf_hz, fs);
+    epc_tx_power = signal_mean_power(epc_tx);
+  }
+
+  const std::vector<double>& query_envelope(std::uint8_t q, double* power) {
+    if (!query_env_built[q]) {
+      query_env[q] = gen2::pie_encode(
+          gen2::QueryCommand{.m = cfg.uplink, .q = q}.encode(), cfg.pie, fs,
+          /*with_preamble=*/true);
+      query_env_power[q] = signal_mean_power(query_env[q]);
+      query_env_built[q] = true;
+    }
+    *power = query_env_power[q];
+    return query_env[q];
+  }
+};
+
+struct Lane {
+  std::size_t trial;
+  std::uint64_t base;
+  std::uint64_t attempt_counter = 0;
+  LinkSessionReport report;
+  gen2::TagStateMachine tag;
+  AdaptiveQ adaptive;
+  SessionStage stage = SessionStage::kQuery;
+  int attempt = 0;
+  std::uint8_t cur_q = 0;
+  gen2::Bits ack;
+  std::vector<double> ack_env;
+  double ack_env_power = -1.0;
+  // Round scratch.
+  Rng att_rng{0};
+  std::vector<double> rx;
+  double sigma = -1.0;
+  std::optional<gen2::Bits> reply;
+  bool done = false;
+
+  Lane(std::size_t t, std::uint64_t b, const gen2::Bits& epc,
+       const AdaptiveQConfig& qcfg)
+      : trial(t),
+        base(b),
+        tag(epc, b ^ 0x9e3779b97f4a7c15ull),
+        adaptive(qcfg) {}
+};
+
+void finish_lane(Lane& lane, DspWorkspace& workspace) {
+  emit_session_telemetry(lane.report);
+  workspace.release(std::move(lane.rx));
+  lane.rx = std::vector<double>();
+  lane.done = true;
+}
+
+void fail_lane_if_exhausted(Lane& lane, const RecoveryPolicy& policy,
+                            DspWorkspace& workspace) {
+  ++lane.attempt;
+  if (lane.attempt >= policy.max_attempts) {
+    lane.report.recovery.failed_stage = lane.stage;
+    finish_lane(lane, workspace);
+  }
+}
+
+void run_lockstep_session_batch(
+    const ImpairedLinkConfig& cfg, std::uint64_t base_seed,
+    std::uint64_t stream_stride, std::uint64_t stream_offset, std::size_t lo,
+    std::size_t hi, DspWorkspace& workspace,
+    const std::function<void(std::size_t, const SessionOutcome&)>& sink) {
+  const gen2::Bits epc = cfg.epc.empty() ? default_link_epc() : cfg.epc;
+  FastContext ctx(cfg, epc);
+  const RecoveryPolicy& policy = cfg.recovery;
+
+  // Charge outcome is config-determined on this path (brownout is gated to
+  // the scalar fallback): same amplitude test as the oracle, no rng draw.
+  const double charge_amp =
+      cfg.charge_amplitude_v *
+      std::sqrt(static_cast<double>(
+          std::max<std::size_t>(1, cfg.num_antennas))) *
+      db_to_amplitude(-cfg.medium_loss_db);
+  const bool powered = charge_amp >= cfg.power_up_threshold_v;
+
+  std::vector<Lane> lanes;
+  lanes.reserve(hi - lo);
+  for (std::size_t t = lo; t < hi; ++t) {
+    // The oracle consumes exactly ONE draw from the caller's trial stream
+    // (the session's attempt-stream base); replicate that here.
+    Rng trial_rng =
+        Rng::stream(base_seed, stream_offset + stream_stride * t);
+    const std::uint64_t base = trial_rng();
+    lanes.emplace_back(t, base, epc, cfg.adaptive_q);
+    Lane& lane = lanes.back();
+    lane.rx = workspace.acquire_real(0);
+    lane.report.elapsed_s += cfg.charge_time_s;
+    lane.report.powered = powered;
+    if (!powered) {
+      lane.report.recovery.failed_stage = SessionStage::kCharge;
+      finish_lane(lane, workspace);
+      continue;
+    }
+    lane.tag.power_up();
+    if (policy.max_attempts < 1) {
+      // The oracle's attempt loop never runs: the Query stage fails with
+      // zero commands sent.
+      lane.report.recovery.failed_stage = SessionStage::kQuery;
+      finish_lane(lane, workspace);
+    }
+  }
+
+  std::vector<Lane*> active;
+  std::vector<Lane*> replied;
+  std::vector<FillSlot> fills;
+  while (true) {
+    active.clear();
+    for (Lane& lane : lanes) {
+      if (!lane.done) active.push_back(&lane);
+    }
+    if (active.empty()) break;
+
+    // Phase A — retry bookkeeping, attempt stream, command envelope, and
+    // the downlink fill slot (noise is written straight from the shared
+    // clean envelope into the lane's rx buffer).
+    for (Lane* lane : active) {
+      if (lane->attempt > 0) {
+        const double backoff = policy.backoff_for_attempt(lane->attempt - 1);
+        lane->report.recovery.backoff_total_s += backoff;
+        lane->report.elapsed_s += backoff;
+        ++lane->report.recovery.retries;
+        if (obs::metrics() != nullptr) {
+          std::string key = "link.retry.";
+          key += to_string(lane->stage);
+          obs::count(key);
+          obs::observe("link.backoff_s", backoff);
+        }
+      }
+      lane->att_rng = Rng::stream(lane->base, lane->attempt_counter++);
+      double power = -1.0;
+      const std::vector<double>* env = nullptr;
+      if (lane->stage == SessionStage::kQuery) {
+        lane->cur_q = lane->adaptive.q();
+        env = &ctx.query_envelope(lane->cur_q, &power);
+      } else {
+        env = &lane->ack_env;
+        power = lane->ack_env_power;
+      }
+      lane->report.elapsed_s += static_cast<double>(env->size()) / ctx.fs;
+      ++lane->report.commands_sent;
+      lane->sigma = awgn_sigma(power, ctx.downlink_snr_db);
+      if (lane->sigma >= 0.0) {
+        // Noise lands straight on the shared cached envelope: rx is sized
+        // but not copied into (the fill writes every sample).
+        lane->rx.resize(env->size());
+        fills.push_back({&lane->att_rng, lane->sigma, env->data(),
+                         lane->rx.data(), env->size()});
+      } else {
+        lane->rx.assign(env->begin(), env->end());
+      }
+    }
+    fill_awgn_groups(fills);
+
+    // Phase C — envelope slicing, tag state machine, slot chase, and the
+    // clean uplink record for lanes whose tag replied.
+    replied.clear();
+    for (Lane* lane : active) {
+      const auto sliced = gen2::pie_decode(lane->rx, ctx.fs);
+      lane->reply.reset();
+      if (sliced.valid) lane->reply = lane->tag.on_command(sliced.bits);
+      const bool is_query = lane->stage == SessionStage::kQuery;
+      if (is_query && !lane->reply) {
+        const auto slots = std::size_t{1} << lane->cur_q;
+        for (std::size_t s = 1; s < slots && !lane->reply; ++s) {
+          lane->adaptive.on_empty();
+          lane->report.elapsed_s += ctx.slot_s;
+          lane->reply = lane->tag.on_command(ctx.query_rep);
+        }
+      }
+      if (is_query) {
+        lane->report.recovery.q_trajectory.push_back(lane->adaptive.q());
+      }
+      if (!lane->reply) {
+        ++lane->report.recovery.timeouts;
+        lane->report.elapsed_s += policy.command_timeout_s;
+        if (is_query) lane->adaptive.on_empty();
+        fail_lane_if_exhausted(*lane, policy, workspace);
+        continue;
+      }
+      if (!is_query && *lane->reply == ctx.epc_frame) {
+        lane->report.elapsed_s +=
+            static_cast<double>(ctx.epc_tx.size()) / ctx.fs;
+        lane->sigma = awgn_sigma(ctx.epc_tx_power, ctx.uplink_snr_db);
+        if (lane->sigma >= 0.0) {
+          lane->rx.resize(ctx.epc_tx.size());
+          fills.push_back({&lane->att_rng, lane->sigma, ctx.epc_tx.data(),
+                           lane->rx.data(), ctx.epc_tx.size()});
+        } else {
+          lane->rx.assign(ctx.epc_tx.begin(), ctx.epc_tx.end());
+        }
+      } else {
+        // The modulated reply becomes the rx buffer directly; noise lands
+        // in place.
+        lane->rx = gen2::fm0_modulate(*lane->reply, cfg.blf_hz, ctx.fs);
+        lane->report.elapsed_s +=
+            static_cast<double>(lane->rx.size()) / ctx.fs;
+        lane->sigma = awgn_sigma(signal_mean_power(lane->rx),
+                                 ctx.uplink_snr_db);
+        if (lane->sigma >= 0.0) {
+          fills.push_back({&lane->att_rng, lane->sigma, lane->rx.data(),
+                           lane->rx.data(), lane->rx.size()});
+        }
+      }
+      replied.push_back(lane);
+    }
+    fill_awgn_groups(fills);
+
+    // Phase E — backscatter decode and stage transitions.
+    for (Lane* lane : replied) {
+      const auto d =
+          gen2::fm0_decode(lane->rx, lane->reply->size(), cfg.blf_hz, ctx.fs,
+                           cfg.min_correlation);
+      lane->report.last_correlation = d.preamble_correlation;
+      const bool is_query = lane->stage == SessionStage::kQuery;
+      if (!d.valid || d.bits.size() != lane->reply->size()) {
+        obs::count("link.decode.fail");
+        if (is_query) lane->adaptive.on_collision();
+        fail_lane_if_exhausted(*lane, policy, workspace);
+        continue;
+      }
+      obs::count("link.decode.ok");
+      if (is_query) {
+        lane->adaptive.on_single();
+        lane->report.rn16 =
+            static_cast<std::uint16_t>(gen2::read_bits(d.bits, 0, 16));
+        lane->ack = gen2::AckCommand{.rn16 = lane->report.rn16}.encode();
+        lane->ack_env =
+            gen2::pie_encode(lane->ack, cfg.pie, ctx.fs,
+                             /*with_preamble=*/false);
+        lane->ack_env_power = signal_mean_power(lane->ack_env);
+        lane->stage = SessionStage::kAck;
+        lane->attempt = 0;
+        continue;
+      }
+      const gen2::Bits& frame = d.bits;
+      if (frame.size() < 32 || !gen2::check_crc16(frame)) {
+        lane->report.recovery.failed_stage = SessionStage::kAck;
+        finish_lane(*lane, workspace);
+        continue;
+      }
+      lane->report.epc = gen2::Bits(frame.begin() + 16, frame.end() - 16);
+      lane->report.success = true;
+      finish_lane(*lane, workspace);
+    }
+  }
+
+  for (const Lane& lane : lanes) {
+    sink(lane.trial, session_outcome_of(lane.report));
+  }
+}
+
+}  // namespace
+
+std::size_t default_batch_size() {
+  if (g_default_batch_overridden && g_default_batch_override > 0) {
+    return g_default_batch_override;
+  }
+  if (!g_default_batch_overridden) {
+    if (const char* env = std::getenv("IVNET_BATCH")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 1 && v <= 1'000'000) return static_cast<std::size_t>(v);
+    }
+  }
+  return 1;
+}
+
+void set_default_batch_size(std::size_t batch_size) {
+  g_default_batch_override = batch_size;
+  g_default_batch_overridden = batch_size != 0;
+}
+
+std::size_t resolve_batch_size(const BatchConfig& config) {
+  const std::size_t k =
+      config.batch_size != 0 ? config.batch_size : default_batch_size();
+  return k == 0 ? 1 : k;
+}
+
+SessionOutcome session_outcome_of(const LinkSessionReport& report) {
+  SessionOutcome out;
+  out.elapsed_s = report.elapsed_s;
+  out.last_correlation = report.last_correlation;
+  out.backoff_total_s = report.recovery.backoff_total_s;
+  out.retries = static_cast<std::uint64_t>(report.recovery.retries);
+  out.timeouts = static_cast<std::uint64_t>(report.recovery.timeouts);
+  out.commands_sent = static_cast<std::uint32_t>(report.commands_sent);
+  out.rn16 = report.rn16;
+  out.success = report.success ? 1 : 0;
+  out.powered = report.powered ? 1 : 0;
+  out.failed_stage = static_cast<std::uint8_t>(report.recovery.failed_stage);
+  return out;
+}
+
+bool lockstep_batchable(const ImpairedLinkConfig& link) {
+  const ImpairmentConfig& im = link.impair;
+  return link.uplink == gen2::Miller::kFm0 && im.cfo_hz == 0.0 &&
+         im.cfo_phase_rad == 0.0 && im.phase_noise_linewidth_hz == 0.0 &&
+         im.clock_drift_ppm == 0.0 &&
+         (im.bursts.rate_hz <= 0.0 || im.bursts.mean_duration_s <= 0.0) &&
+         !im.brownout.enabled && link.adaptive_q.q_max <= 15;
+}
+
+void run_session_batch(
+    const ImpairedLinkConfig& link, std::uint64_t base_seed,
+    std::uint64_t stream_stride, std::uint64_t stream_offset, std::size_t lo,
+    std::size_t hi, DspWorkspace& workspace,
+    const std::function<void(std::size_t, const SessionOutcome&)>& sink) {
+  if (hi <= lo) return;
+  if (lockstep_batchable(link)) {
+    obs::count("batch.lockstep_trials", hi - lo);
+    run_lockstep_session_batch(link, base_seed, stream_stride, stream_offset,
+                               lo, hi, workspace, sink);
+    return;
+  }
+  // Configs the lane engine cannot run in lockstep execute the scalar
+  // oracle per lane — still batch-dispatched, so the knob stays safe.
+  obs::count("batch.fallback_trials", hi - lo);
+  for (std::size_t t = lo; t < hi; ++t) {
+    Rng trial_rng = Rng::stream(base_seed, stream_offset + stream_stride * t);
+    sink(t, session_outcome_of(run_impaired_link_session(link, trial_rng)));
+  }
+}
+
+void run_ber_batch(
+    const ImpairedLinkConfig& link, std::size_t payload_bits,
+    std::uint64_t base_seed, std::uint64_t stream_stride,
+    std::uint64_t stream_offset, std::size_t lo, std::size_t hi,
+    DspWorkspace& workspace,
+    const std::function<void(std::size_t, const BerOutcome&)>& sink) {
+  if (hi <= lo) return;
+  if (!lockstep_batchable(link)) {
+    obs::count("batch.fallback_trials", hi - lo);
+    for (std::size_t t = lo; t < hi; ++t) {
+      const auto probe = ber_probe_trial(
+          link, payload_bits,
+          Rng::stream(base_seed, stream_offset + stream_stride * t));
+      BerOutcome out;
+      out.bit_errors = probe.bit_errors;
+      out.frame_error = probe.frame_error ? 1 : 0;
+      sink(t, out);
+    }
+    return;
+  }
+  obs::count("batch.lockstep_trials", hi - lo);
+
+  struct BerLane {
+    Rng rng{0};
+    gen2::Bits payload;
+    std::vector<double> rx;
+    double sigma = -1.0;
+  };
+  const double fs = link.sample_rate_hz;
+  const double budget_db = uplink_budget_db(link);
+  std::vector<BerLane> lanes(hi - lo);
+  std::vector<FillSlot> fills;
+  fills.reserve(lanes.size());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    BerLane& lane = lanes[k];
+    lane.rng = Rng::stream(base_seed, stream_offset + stream_stride * (lo + k));
+    lane.payload.resize(payload_bits);
+    // The oracle's payload loop, verbatim: one raw draw per bit.
+    for (auto&& b : lane.payload) b = (lane.rng() & 1u) != 0;
+    // The modulated frame becomes the rx buffer directly; noise lands in
+    // place (same bytes as the oracle's copy-then-add sequence).
+    lane.rx = gen2::fm0_modulate(lane.payload, link.blf_hz, fs);
+    lane.sigma = awgn_sigma(signal_mean_power(lane.rx), budget_db);
+    if (lane.sigma >= 0.0) {
+      fills.push_back({&lane.rng, lane.sigma, lane.rx.data(), lane.rx.data(),
+                       lane.rx.size()});
+    }
+  }
+  fill_awgn_groups(fills);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    BerLane& lane = lanes[k];
+    const auto d = gen2::fm0_decode(lane.rx, payload_bits, link.blf_hz, fs,
+                                    link.min_correlation);
+    BerOutcome out;
+    if (!d.valid || d.bits.size() != payload_bits) {
+      out.bit_errors = payload_bits / 2;
+      out.frame_error = 1;
+    } else {
+      for (std::size_t i = 0; i < payload_bits; ++i) {
+        if (d.bits[i] != lane.payload[i]) ++out.bit_errors;
+      }
+      out.frame_error = out.bit_errors > 0 ? 1 : 0;
+    }
+    workspace.release(std::move(lane.rx));
+    sink(lo + k, out);
+  }
+}
+
+}  // namespace ivnet

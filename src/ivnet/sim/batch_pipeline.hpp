@@ -1,0 +1,183 @@
+// Batched run-to-completion trial pipeline.
+//
+// The Monte-Carlo consumers (BER/PER waterfalls, the media x SNR x antennas
+// session matrix, sim/experiment's trial loops) historically ran one trial
+// at a time: charge -> Query -> backscatter -> decode, serially, with
+// per-trial overheads (stage dispatch, workspace checkout, RNG setup,
+// per-trial report structs) paid once per session. This engine runs K
+// independent trials *together* in the NDN-DPDK burst style: a batch of
+// lane states advances round by round through the same stages, the AWGN
+// fills of lanes whose records have equal length are generated in lockstep
+// SIMD lanes (signal/gauss.hpp), one DspWorkspace arena is checked out per
+// batch rather than per trial, and per-trial results land in plain-old-data
+// SessionOutcome slots that the caller folds batch-at-a-time.
+//
+// Determinism contract (the whole point): per-trial Rng::stream seeds are
+// assigned up front from (base_seed, stream_offset + stream_stride * t), and
+// every lane replays the EXACT operation sequence of the scalar oracle
+// (run_impaired_link_session / waterfall's ber_trial), so outcomes are
+// bitwise-identical to the scalar path at any batch size and any thread
+// count. batch_pipeline_test pins this memcmp-strict across batch sizes
+// {1, 2, 7, 32, 129} and ragged trial counts; determinism_test pins the
+// batched waterfall/matrix JSON across 1/2/8-thread pools.
+//
+// Scalar-oracle policy (signal/naive_dsp.hpp style): batch_size <= 1 means
+// the caller keeps the original one-trial-at-a-time code path, which stays
+// in-tree verbatim as the oracle the batched engine is pinned against.
+//
+// Configs the lane engine cannot run in lockstep (Miller uplinks, burst
+// erasures, CFO/phase/drift impairments, brownout) transparently fall back
+// to the scalar oracle per lane — still batch-dispatched and workspace-
+// pooled, so the batch knob is always safe to enable.
+//
+// Observability trade: the batched path emits the same order-independent
+// per-trial counters/histograms as the scalar path (link.sessions,
+// link.success/failed, link.elapsed_s, link.decode.*, recovery histograms)
+// plus batch-level spans and counters (batch.trials, batch.dispatches,
+// workspace.high_water_bytes) — but it does NOT emit the scalar path's
+// per-trial sim-trace spans/tracks (a K-lane wavefront has no single
+// per-trial timeline). Use batch_size 1 when per-trial traces matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/signal/dsp_workspace.hpp"
+
+namespace ivnet {
+
+/// Batch-size knob carried by the throughput-workload configs. 0 defers to
+/// default_batch_size() (the IVNET_BATCH environment variable or a
+/// set_default_batch_size override), so existing call sites behave exactly
+/// as before unless a batch size is requested somewhere.
+struct BatchConfig {
+  std::size_t batch_size = 0;
+};
+
+/// Process-wide default batch size: set_default_batch_size() override if
+/// any, else IVNET_BATCH (when set and valid), else 1 (scalar oracle).
+std::size_t default_batch_size();
+
+/// Override the process default (0 restores the IVNET_BATCH/1 behavior).
+/// Same spirit as set_parallel_threads: for benchmarks and CLI plumbing,
+/// not safe to call concurrently with in-flight sweeps.
+void set_default_batch_size(std::size_t batch_size);
+
+/// The batch size a config resolves to (>= 1).
+std::size_t resolve_batch_size(const BatchConfig& config);
+
+/// POD projection of LinkSessionReport for memcmp-strict batched-vs-scalar
+/// pinning and SoA-style batch accumulation. Fixed-width fields ordered
+/// widest-first with explicit tail padding: no implicit padding bytes, so
+/// aggregate-initialized instances compare reliably with std::memcmp.
+struct SessionOutcome {
+  double elapsed_s = 0.0;
+  double last_correlation = 0.0;
+  double backoff_total_s = 0.0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint32_t commands_sent = 0;
+  std::uint16_t rn16 = 0;
+  std::uint8_t success = 0;
+  std::uint8_t powered = 0;
+  std::uint8_t failed_stage = 0;  ///< SessionStage of the failure (success: 0)
+  std::uint8_t pad[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(SessionOutcome) == 56, "SessionOutcome must be packed");
+
+/// One raw-BER probe outcome (waterfall even-stream trials).
+struct BerOutcome {
+  std::uint64_t bit_errors = 0;
+  std::uint8_t frame_error = 0;
+  std::uint8_t pad[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(BerOutcome) == 16, "BerOutcome must be packed");
+
+/// The scalar oracle's report projected onto the POD outcome.
+SessionOutcome session_outcome_of(const LinkSessionReport& report);
+
+/// Run session trials [lo, hi) as one batch of lockstep lanes. Trial t uses
+/// Rng::stream(base_seed, stream_offset + stream_stride * t) — the exact
+/// stream layout of the scalar call sites (waterfall sessions: stride 2,
+/// offset 1; matrix/depth sweeps: stride 1, offset 0). `workspace` is the
+/// batch's arena (one per batch, not per trial). `sink(t, outcome)` is
+/// invoked once per trial in ascending trial order after the batch
+/// completes.
+void run_session_batch(
+    const ImpairedLinkConfig& link, std::uint64_t base_seed,
+    std::uint64_t stream_stride, std::uint64_t stream_offset, std::size_t lo,
+    std::size_t hi, DspWorkspace& workspace,
+    const std::function<void(std::size_t, const SessionOutcome&)>& sink);
+
+/// Run BER-probe trials [lo, hi) as one batch (waterfall even streams:
+/// stride 2, offset 0). Same seeding and sink contract as above.
+void run_ber_batch(
+    const ImpairedLinkConfig& link, std::size_t payload_bits,
+    std::uint64_t base_seed, std::uint64_t stream_stride,
+    std::uint64_t stream_offset, std::size_t lo, std::size_t hi,
+    DspWorkspace& workspace,
+    const std::function<void(std::size_t, const BerOutcome&)>& sink);
+
+/// True when `link` can run in the lockstep lane engine; false means the
+/// batch falls back to the scalar oracle per lane (exposed for tests).
+bool lockstep_batchable(const ImpairedLinkConfig& link);
+
+/// Deterministic batch-grained reduction: run_batch(lo, hi) -> T evaluates
+/// trials [lo, hi) (hi - lo <= batch_size) and returns the batch partial;
+/// partials are combined in batch order. Batches are dispatched on the
+/// shared pool, one batch per pool_run task, so batch_size IS the
+/// scheduling grain (it replaces kParallelGrain for batched sweeps).
+/// Bitwise-identical totals for any pool size follow from the fixed batch
+/// boundaries and in-order fold — and totals are batch-size-invariant too
+/// whenever `combine` is associative over per-trial contributions (the
+/// waterfall tallies are integer sums).
+template <typename T, typename RunBatch, typename Combine>
+T batched_reduce(std::size_t n, std::size_t batch_size, T identity,
+                 RunBatch&& run_batch, Combine&& combine) {
+  if (n == 0) return identity;
+  const std::size_t k = batch_size == 0 ? 1 : batch_size;
+  const std::size_t batches = (n + k - 1) / k;
+  obs::count("batch.dispatches", batches);
+  obs::count("batch.trials", n);
+  std::vector<T> partials(batches, identity);
+  const auto run_one = [&](std::size_t b) {
+    partials[b] = run_batch(b * k, std::min(n, (b + 1) * k));
+  };
+  if (batches <= 1 || parallel_thread_count() <= 1 ||
+      detail::in_pool_worker()) {
+    for (std::size_t b = 0; b < batches; ++b) run_one(b);
+  } else {
+    detail::pool_run(batches, run_one);
+  }
+  T total = std::move(partials[0]);
+  for (std::size_t b = 1; b < batches; ++b) {
+    total = combine(std::move(total), std::move(partials[b]));
+  }
+  return total;
+}
+
+/// Batch-grained parallel_for: run_batch(lo, hi) must write only to
+/// per-index slots (the parallel_for contract, at batch granularity).
+template <typename RunBatch>
+void batched_for(std::size_t n, std::size_t batch_size, RunBatch&& run_batch) {
+  if (n == 0) return;
+  const std::size_t k = batch_size == 0 ? 1 : batch_size;
+  const std::size_t batches = (n + k - 1) / k;
+  obs::count("batch.dispatches", batches);
+  obs::count("batch.trials", n);
+  const auto run_one = [&](std::size_t b) {
+    run_batch(b * k, std::min(n, (b + 1) * k));
+  };
+  if (batches <= 1 || parallel_thread_count() <= 1 ||
+      detail::in_pool_worker()) {
+    for (std::size_t b = 0; b < batches; ++b) run_one(b);
+  } else {
+    detail::pool_run(batches, run_one);
+  }
+}
+
+}  // namespace ivnet

@@ -71,7 +71,8 @@ Channel draw_scenario_channel(const Scenario& scenario, const TagConfig& tag,
 std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
                                        const TagConfig& tag,
                                        const FrequencyPlan& plan,
-                                       std::size_t trials, Rng& rng) {
+                                       std::size_t trials, Rng& rng,
+                                       const BatchConfig& batch) {
   obs::ScopedSpan span("sim.gain_trials", "sim");
   obs::count("sim.gain_trials.calls");
   obs::count("sim.gain_trials.trials", trials);
@@ -82,7 +83,7 @@ std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
   // any thread count (`rng` is consumed exactly once, for the stream base).
   const std::uint64_t base = rng();
   std::vector<GainTrial> results(trials);
-  parallel_for(trials, [&](std::size_t k) {
+  const auto run_trial = [&](std::size_t k) {
     Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
         scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
@@ -100,7 +101,17 @@ std::vector<GainTrial> run_gain_trials(const Scenario& scenario,
     trial.baseline_gain = (base_amp / ref) * (base_amp / ref);
     trial.genie_gain = (genie_amp / ref) * (genie_amp / ref);
     results[k] = trial;
-  });
+  };
+  const std::size_t batch_size = resolve_batch_size(batch);
+  if (batch_size > 1) {
+    // Batch-grained dispatch: identical per-index writes, so results are
+    // byte-equal to the scalar dispatch at any batch size.
+    batched_for(trials, batch_size, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) run_trial(k);
+    });
+  } else {
+    parallel_for(trials, run_trial);
+  }
   return results;
 }
 
@@ -120,7 +131,8 @@ PercentileSummary summarize_baseline(const std::vector<GainTrial>& trials) {
 
 bool can_power_up(const Scenario& scenario, const TagConfig& tag,
                   const FrequencyPlan& plan, std::size_t trials,
-                  double success_ratio, Rng& rng) {
+                  double success_ratio, Rng& rng,
+                  const BatchConfig& batch) {
   const TagDevice device(tag);
   const double threshold = device.min_peak_voltage();
   const double t_max = plan.period_s() > 0.0 ? plan.period_s() : 1.0;
@@ -128,13 +140,21 @@ bool can_power_up(const Scenario& scenario, const TagConfig& tag,
   // Per-trial success flags; the integer count is order-independent, so the
   // verdict is bitwise identical for any thread count.
   std::vector<std::uint8_t> powered(trials, 0);
-  parallel_for(trials, [&](std::size_t k) {
+  const auto run_trial = [&](std::size_t k) {
     Rng trial_rng = Rng::stream(base, k);
     const Channel channel = draw_scenario_channel(
         scenario, tag, plan.num_antennas(), plan.center_hz(), trial_rng);
     const double peak = cib_peak_amplitude(channel, plan.offsets_hz(), t_max);
     powered[k] = peak >= threshold ? 1 : 0;
-  });
+  };
+  const std::size_t batch_size = resolve_batch_size(batch);
+  if (batch_size > 1) {
+    batched_for(trials, batch_size, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) run_trial(k);
+    });
+  } else {
+    parallel_for(trials, run_trial);
+  }
   std::size_t successes = 0;
   for (std::uint8_t p : powered) successes += p;
   return static_cast<double>(successes) >=

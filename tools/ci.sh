@@ -59,6 +59,18 @@ for r in rows:
 PY
 fi
 
+echo "=== ci: batched pipeline sessions/sec (non-gating timings) ==="
+# Runs the scalar trial loop and the batched lockstep pipeline (batch
+# 1/8/32/128 x threads 1/2/8) over the same x13 workload and archives the
+# sessions/sec table. Timings are informational on shared hardware, but the
+# bench also byte-compares every configuration's sweep JSON against the
+# scalar single-thread reference — an identity mismatch is a real bug, so
+# that (exit code 1) still fails the pipeline.
+if ! build-ci/bench/bench_throughput "$ARTIFACT_DIR/BENCH_throughput.json"; then
+  echo "ci: batched pipeline output differs from scalar oracle" >&2
+  exit 1
+fi
+
 echo "=== ci: AddressSanitizer ==="
 build_and_test build-asan -DIVNET_SANITIZE=address
 
@@ -70,8 +82,8 @@ echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
 # the fir design validation used to vanish. Pin that the throwing contract
 # and the DSP/campaign suites hold in an assert-enabled Debug build too.
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test
-ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test'
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test'
 
 echo "=== ci: traced sweep artifacts ==="
 mkdir -p "$ARTIFACT_DIR"
@@ -104,7 +116,9 @@ echo "=== ci: campaign kill-and-resume determinism ==="
 # byte-identical final JSON to an uninterrupted run — across different
 # IVNET_THREADS on every leg (1 for the reference, 2 for the killed run,
 # 8 for the resume). Wherever the kill lands (before, between, or after
-# cell journal appends), the resumed bytes must match.
+# cell journal appends), the resumed bytes must match. The resume leg runs
+# through the batched lockstep pipeline (IVNET_BATCH=32), so the final cmp
+# also pins batched-vs-scalar identity on a live campaign.
 CAMPAIGN_DIR="$ARTIFACT_DIR/campaign"
 mkdir -p "$CAMPAIGN_DIR"
 CAMPAIGN_TRIALS="${CAMPAIGN_TRIALS:-12000}"
@@ -121,7 +135,7 @@ kill -9 "$victim" 2>/dev/null || true
 wait "$victim" 2>/dev/null || true
 build-ci/tools/ivnet campaign status --bench fig9 \
     --trials "$CAMPAIGN_TRIALS" --journal "$CAMPAIGN_DIR/killed.jsonl"
-IVNET_THREADS=8 build-ci/tools/ivnet campaign resume --bench fig9 \
+IVNET_THREADS=8 IVNET_BATCH=32 build-ci/tools/ivnet campaign resume --bench fig9 \
     --trials "$CAMPAIGN_TRIALS" \
     --journal "$CAMPAIGN_DIR/killed.jsonl" \
     --out "$CAMPAIGN_DIR/resumed.json" \

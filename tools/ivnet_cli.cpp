@@ -16,6 +16,9 @@
 //   --trace-out FILE       write a Chrome trace_event file (load in
 //                          chrome://tracing or ui.perfetto.dev)
 //   --trace-clock sim|wall trace clock domain (default wall)
+//   --batch-size K         run trial sweeps through the batched lockstep
+//                          pipeline, K trials per batch (1 = scalar path;
+//                          results are bitwise-identical either way)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@
 #include "ivnet/common/units.hpp"
 #include "ivnet/cib/optimizer.hpp"
 #include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/batch_pipeline.hpp"
 #include "ivnet/sim/calibration.hpp"
 #include "ivnet/sim/campaign.hpp"
 #include "ivnet/sim/experiment.hpp"
@@ -425,7 +429,10 @@ int cmd_help() {
       "           [--depth M] [--reads-per-minute R] [--json]\n"
       "  campaign run|status|resume --bench fig9|fig13|x13\n"
       "           [--journal FILE] [--out FILE] [--trials N]\n"
-      "           [--range-trials N] [--fresh] [--json]\n");
+      "           [--range-trials N] [--fresh] [--json]\n\n"
+      "global: --metrics-out FILE  --trace-out FILE  --trace-clock sim|wall\n"
+      "        --batch-size K   batched lockstep trial pipeline (K trials\n"
+      "                         per batch; bitwise-identical to scalar)\n");
   return 0;
 }
 
@@ -457,6 +464,17 @@ int dispatch(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+
+  // Batched trial pipeline: the flag overrides the IVNET_BATCH environment
+  // default for every sweep this process runs (output bytes do not change).
+  if (args.has("batch-size")) {
+    const double k = args.get_num("batch-size", 1.0);
+    if (k < 1.0) {
+      std::fprintf(stderr, "ivnet: --batch-size must be >= 1\n");
+      return 2;
+    }
+    set_default_batch_size(static_cast<std::size_t>(k));
+  }
 
   // Telemetry sink: any command runs instrumented when asked for artifacts.
   const std::string metrics_out = args.get("metrics-out", "");
