@@ -1,0 +1,252 @@
+// Service front-end latency/throughput characterization: the inventory
+// service driven by the Markov-modulated load harness.
+//
+// Per worker count {1, 2, 8}:
+//   1. Closed-loop saturation — a fixed-concurrency replay (4x workers in
+//      flight) that never idles the pool and never sheds; its completion
+//      rate is the saturation throughput estimate for that pool size.
+//   2. Open-loop MMPP sweep — a 2-state bursty schedule (calm at 0.5x and
+//      surge at 1.5x the point's mean rate) replayed on the wall clock at
+//      offered loads {0.25, 0.5, 1.0, 2.0}x saturation. Queue-wait and
+//      service-time p50/p99 come from exact per-request samples, rejection
+//      counts from the bounded ring's shedding.
+//
+// Identity gate (exit code): responses are pure functions of the request
+// stream, so the closed-loop response digests must match across ALL worker
+// counts and across a rerun at the widest pool. A digest mismatch exits 1 —
+// the latency table only ever describes runs with bitwise-identical
+// response payloads.
+//
+//   ./bench_service [output-path]    (default: BENCH_service.json)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ivnet/common/json.hpp"
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/svc/loadgen.hpp"
+#include "ivnet/svc/service.hpp"
+
+namespace {
+
+using namespace ivnet;
+using namespace ivnet::svc;
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 8};
+constexpr double kOfferedMultipliers[] = {0.25, 0.5, 1.0, 2.0};
+constexpr std::size_t kClosedLoopRequests = 384;
+constexpr std::size_t kOpenLoopRequests = 400;
+constexpr std::uint64_t kSeed = 41;
+
+/// Request template shared by every point: short decode dialogues at a
+/// mid-waterfall SNR, heavy enough to cost real DSP per request and light
+/// enough that a 1-worker saturation run stays under a second.
+LoadState decode_state(double relative_rate) {
+  LoadState state;
+  state.rate_rps = relative_rate;
+  state.kind = RequestKind::kDecode;
+  state.trials = 2;
+  state.antennas = 2;
+  state.snr_db = 14.0;
+  return state;
+}
+
+/// 2-state MMPP: calm (0.5x mean) and surge (1.5x mean), sticky states
+/// (p_stay = 0.9) so bursts last ~10 arrivals. rate_scale carries the
+/// offered load; the stationary mix is 50/50, so the mean offered rate is
+/// rate_scale requests/s exactly.
+LoadGenConfig mmpp_config(double offered_rps, std::size_t requests) {
+  LoadGenConfig config;
+  config.states = {decode_state(0.5), decode_state(1.5)};
+  config.transition = {0.9, 0.1, 0.1, 0.9};
+  config.requests = requests;
+  config.seed = kSeed;
+  config.rate_scale = offered_rps;
+  return config;
+}
+
+ServiceConfig service_config(std::size_t workers) {
+  ServiceConfig config;
+  config.workers = workers;
+  config.queue_depth = 256;
+  return config;
+}
+
+struct SaturationPoint {
+  std::size_t workers = 0;
+  double throughput_rps = 0.0;
+  double service_p50_s = 0.0;
+  double service_p99_s = 0.0;
+  std::uint64_t digest = 0;
+};
+
+SaturationPoint measure_saturation(std::size_t workers) {
+  // Rate is irrelevant closed-loop (timestamps are ignored); the schedule
+  // only supplies the deterministic request stream.
+  const auto schedule = generate_schedule(mmpp_config(1.0, kClosedLoopRequests));
+  LatencyCollector collector;
+  InventoryService service(service_config(workers), collector.sink());
+  const ReplayResult replay =
+      run_closed_loop(service, collector, schedule, 4 * workers);
+  collector.wait_for_completed(replay.accepted);
+  service.stop();
+
+  SaturationPoint point;
+  point.workers = workers;
+  point.throughput_rps =
+      replay.wall_s > 0.0 ? static_cast<double>(replay.accepted) / replay.wall_s
+                          : 0.0;
+  point.service_p50_s = collector.service_quantile(0.50);
+  point.service_p99_s = collector.service_quantile(0.99);
+  point.digest = collector.digest();
+  return point;
+}
+
+struct LoadPoint {
+  std::size_t workers = 0;
+  double multiplier = 0.0;
+  double offered_rps = 0.0;
+  double completed_rps = 0.0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  double service_p50_s = 0.0;
+  double service_p99_s = 0.0;
+  double latency_p99_s = 0.0;
+};
+
+LoadPoint measure_open_loop(std::size_t workers, double multiplier,
+                            double saturation_rps) {
+  const double offered = multiplier * saturation_rps;
+  const auto schedule =
+      generate_schedule(mmpp_config(offered, kOpenLoopRequests));
+  LatencyCollector collector;
+  InventoryService service(service_config(workers), collector.sink());
+  const ReplayResult replay = run_open_loop(service, schedule);
+  // Submission is done; everything accepted will complete during the drain.
+  service.stop();
+
+  LoadPoint point;
+  point.workers = workers;
+  point.multiplier = multiplier;
+  point.offered_rps = offered;
+  point.accepted = replay.accepted;
+  point.rejected = replay.rejected;
+  const double span_s = schedule.empty() ? 0.0 : schedule.back().t_s;
+  point.completed_rps =
+      span_s > 0.0 ? static_cast<double>(collector.completed()) / span_s : 0.0;
+  point.queue_wait_p50_s = collector.queue_wait_quantile(0.50);
+  point.queue_wait_p99_s = collector.queue_wait_quantile(0.99);
+  point.service_p50_s = collector.service_quantile(0.50);
+  point.service_p99_s = collector.service_quantile(0.99);
+  point.latency_p99_s = collector.latency_quantile(0.99);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_service.json");
+  // The service pool IS the parallelism under test; keep the shared
+  // parallel_for pool out of the picture entirely.
+  set_parallel_threads(1);
+
+  std::printf("inventory service, MMPP decode workload "
+              "(2 states 0.5x/1.5x, p_stay 0.9, trials=2, snr 14 dB)\n\n");
+
+  std::vector<SaturationPoint> saturation;
+  std::printf("closed-loop saturation (%zu requests, window 4x workers)\n",
+              kClosedLoopRequests);
+  std::printf("%-8s %-12s %-12s %-12s\n", "workers", "req/s", "svc p50 ms",
+              "svc p99 ms");
+  for (const std::size_t workers : kWorkerCounts) {
+    saturation.push_back(measure_saturation(workers));
+    const SaturationPoint& p = saturation.back();
+    std::printf("%-8zu %-12.0f %-12.3f %-12.3f\n", p.workers, p.throughput_rps,
+                p.service_p50_s * 1e3, p.service_p99_s * 1e3);
+  }
+
+  // Identity gate: same request stream -> same response digest, at every
+  // pool size and on a rerun.
+  bool identical = true;
+  for (const SaturationPoint& p : saturation) {
+    identical = identical && p.digest == saturation.front().digest;
+  }
+  const SaturationPoint rerun = measure_saturation(kWorkerCounts[2]);
+  identical = identical && rerun.digest == saturation.front().digest;
+  std::printf("\nresponse digests across workers + rerun: %s\n\n",
+              identical ? "identical" : "DIVERGED");
+
+  std::vector<LoadPoint> points;
+  std::printf("open-loop MMPP sweep (%zu requests per point)\n",
+              kOpenLoopRequests);
+  std::printf("%-8s %-8s %-10s %-9s %-12s %-12s %-12s %-12s\n", "workers",
+              "mult", "offered/s", "rejected", "wait p50 ms", "wait p99 ms",
+              "svc p99 ms", "e2e p99 ms");
+  for (const std::size_t workers : kWorkerCounts) {
+    const double sat = saturation[workers == 1 ? 0 : workers == 2 ? 1 : 2]
+                           .throughput_rps;
+    for (const double multiplier : kOfferedMultipliers) {
+      points.push_back(measure_open_loop(workers, multiplier, sat));
+      const LoadPoint& p = points.back();
+      std::printf("%-8zu %-8.2f %-10.0f %-9zu %-12.3f %-12.3f %-12.3f "
+                  "%-12.3f\n",
+                  p.workers, p.multiplier, p.offered_rps, p.rejected,
+                  p.queue_wait_p50_s * 1e3, p.queue_wait_p99_s * 1e3,
+                  p.service_p99_s * 1e3, p.latency_p99_s * 1e3);
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("workload").begin_object()
+      .field("name", "mmpp_decode")
+      .field("states", static_cast<std::size_t>(2))
+      .field("rate_mix", "0.5x/1.5x, p_stay 0.9")
+      .field("trials_per_request", static_cast<std::size_t>(2))
+      .field("snr_db", 14.0)
+      .field("queue_depth", static_cast<std::size_t>(256))
+      .field("seed", static_cast<std::size_t>(kSeed))
+      .end_object();
+  w.key("saturation").begin_array();
+  for (const SaturationPoint& p : saturation) {
+    w.begin_object()
+        .field("workers", p.workers)
+        .field("throughput_rps", p.throughput_rps)
+        .field("service_p50_s", p.service_p50_s)
+        .field("service_p99_s", p.service_p99_s)
+        .end_object();
+  }
+  w.end_array();
+  w.key("open_loop").begin_array();
+  for (const LoadPoint& p : points) {
+    w.begin_object()
+        .field("workers", p.workers)
+        .field("offered_multiplier", p.multiplier)
+        .field("offered_rps", p.offered_rps)
+        .field("completed_rps", p.completed_rps)
+        .field("accepted", p.accepted)
+        .field("rejected", p.rejected)
+        .field("queue_wait_p50_s", p.queue_wait_p50_s)
+        .field("queue_wait_p99_s", p.queue_wait_p99_s)
+        .field("service_p50_s", p.service_p50_s)
+        .field("service_p99_s", p.service_p99_s)
+        .field("latency_p99_s", p.latency_p99_s)
+        .end_object();
+  }
+  w.end_array();
+  w.field("responses_identical", identical);
+  w.end_object();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}

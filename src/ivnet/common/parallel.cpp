@@ -164,6 +164,12 @@ namespace detail {
 
 bool in_pool_worker() { return t_in_pool_worker; }
 
+bool set_in_pool_worker(bool value) {
+  const bool prev = t_in_pool_worker;
+  t_in_pool_worker = value;
+  return prev;
+}
+
 void pool_run(std::size_t chunks,
               const std::function<void(std::size_t)>& chunk) {
   if (chunks == 0) return;

@@ -51,7 +51,30 @@ void pool_run(std::size_t chunks, const std::function<void(std::size_t)>& chunk)
 /// True when the calling thread is a pool worker (nested calls run inline).
 bool in_pool_worker();
 
+/// Set the calling thread's pool-worker mark; returns the previous value.
+bool set_in_pool_worker(bool value);
+
 }  // namespace detail
+
+/// Marks the calling thread as a parallel-pool participant for the scope's
+/// lifetime: nested parallel_for / parallel_reduce / batched_* calls run
+/// inline on this thread instead of dispatching to the shared pool. The
+/// service front-end (svc/service.hpp) wraps each worker in one of these so
+/// a request handler that reaches a parallelized kernel (the frequency
+/// optimizer's Monte-Carlo scoring, for instance) cannot oversubscribe the
+/// machine by stacking the shared pool on top of the service's own workers —
+/// and cannot serialize unrelated requests behind the pool's one-job-at-a-
+/// time submit lock.
+class ScopedInlineParallel {
+ public:
+  ScopedInlineParallel() : prev_(detail::set_in_pool_worker(true)) {}
+  ~ScopedInlineParallel() { detail::set_in_pool_worker(prev_); }
+  ScopedInlineParallel(const ScopedInlineParallel&) = delete;
+  ScopedInlineParallel& operator=(const ScopedInlineParallel&) = delete;
+
+ private:
+  bool prev_;
+};
 
 /// Calls f(i) for every i in [0, n), in unspecified order, possibly
 /// concurrently. f must be safe to run concurrently for distinct indices;

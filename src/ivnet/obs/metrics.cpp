@@ -27,6 +27,16 @@ void Histogram::observe(double value) {
   max_ = std::max(max_, value);
 }
 
+Histogram::View Histogram::view() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  View v;
+  v.count = count_;
+  v.min = min_;
+  v.max = max_;
+  v.counts = counts_;
+  return v;
+}
+
 std::uint64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;
@@ -47,30 +57,31 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return counts_;
 }
 
-double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) return 0.0;
+double Histogram::quantile_of(const View& view, std::span<const double> bounds,
+                              double q) {
+  if (view.count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Walk the cumulative counts to the bucket holding rank q*count, then
   // interpolate linearly inside it. The first bucket's lower edge is the
   // observed min and the overflow bucket's upper edge is the observed max,
   // so single-bucket histograms still report sensible quantiles.
-  const double rank = q * static_cast<double>(count_);
+  const double rank = q * static_cast<double>(view.count);
   std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < counts_.size(); ++b) {
-    if (counts_[b] == 0) continue;
+  for (std::size_t b = 0; b < view.counts.size(); ++b) {
+    if (view.counts[b] == 0) continue;
     const double cum_before = static_cast<double>(cum);
-    cum += counts_[b];
+    cum += view.counts[b];
     if (static_cast<double>(cum) < rank) continue;
     const double lo =
-        b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
-    const double hi =
-        b == counts_.size() - 1 ? max_ : std::min(max_, bounds_[b]);
+        b == 0 ? view.min : std::max(view.min, bounds[b - 1]);
+    const double hi = b == view.counts.size() - 1
+                          ? view.max
+                          : std::min(view.max, bounds[b]);
     const double frac =
-        (rank - cum_before) / static_cast<double>(counts_[b]);
+        (rank - cum_before) / static_cast<double>(view.counts[b]);
     return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
   }
-  return max_;
+  return view.max;
 }
 
 std::vector<double> Histogram::default_bounds() {
@@ -245,29 +256,33 @@ std::string MetricsRegistry::snapshot_json() const {
   w.end_object();
   w.key("histograms").begin_object();
   for (const auto& [name, h] : histograms_) {
+    // One coherent view per histogram: count, min/max, quantiles, and
+    // bucket rows all derive from the same frozen copy, so a snapshot taken
+    // while workers are still observing can never report a count that
+    // disagrees with its bucket sums (obs_test pins this under TSan).
+    const Histogram::View view = h->view();
+    const auto& bounds = h->bounds();
     w.key(name).begin_object();
-    w.field("count", static_cast<std::size_t>(h->count()));
-    if (h->count() > 0) {
-      w.field("min", h->min());
-      w.field("max", h->max());
-      w.field("p50", h->quantile(0.50));
-      w.field("p90", h->quantile(0.90));
-      w.field("p99", h->quantile(0.99));
+    w.field("count", static_cast<std::size_t>(view.count));
+    if (view.count > 0) {
+      w.field("min", view.min);
+      w.field("max", view.max);
+      w.field("p50", Histogram::quantile_of(view, bounds, 0.50));
+      w.field("p90", Histogram::quantile_of(view, bounds, 0.90));
+      w.field("p99", Histogram::quantile_of(view, bounds, 0.99));
     }
     // Only non-empty buckets: snapshots stay compact and adding ladder
     // rungs later cannot silently reshape every export.
-    const auto counts = h->bucket_counts();
-    const auto& bounds = h->bounds();
     w.key("buckets").begin_array();
-    for (std::size_t b = 0; b < counts.size(); ++b) {
-      if (counts[b] == 0) continue;
+    for (std::size_t b = 0; b < view.counts.size(); ++b) {
+      if (view.counts[b] == 0) continue;
       w.begin_object();
       if (b < bounds.size()) {
         w.field("le", bounds[b]);
       } else {
         w.key("le").value("inf");
       }
-      w.field("count", static_cast<std::size_t>(counts[b]));
+      w.field("count", static_cast<std::size_t>(view.counts[b]));
       w.end_object();
     }
     w.end_array();

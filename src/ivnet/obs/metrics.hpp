@@ -65,6 +65,20 @@ class Histogram {
 
   void observe(double value);
 
+  /// Atomically-consistent copy of the histogram state: the bucket counts,
+  /// total count, and min/max all reflect the SAME instant. This is the
+  /// only way to read multiple fields coherently while writers are active —
+  /// separate count()/min()/quantile() calls each take the lock on their
+  /// own and can interleave with observes in between (a snapshot assembled
+  /// from them may report a count that disagrees with its bucket sums).
+  struct View {
+    std::uint64_t count = 0;
+    double min = 0.0;  ///< +inf when empty
+    double max = 0.0;  ///< -inf when empty
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  };
+  View view() const;  ///< one lock acquisition for the whole copy
+
   std::uint64_t count() const;
   double min() const;  ///< +inf when empty
   double max() const;  ///< -inf when empty
@@ -72,7 +86,12 @@ class Histogram {
   /// Quantile q in [0, 1] interpolated linearly inside the owning bucket
   /// (first/overflow buckets interpolate against the observed min/max).
   /// A pure function of the bucket counts — deterministic across threads.
-  double quantile(double q) const;
+  double quantile(double q) const { return quantile_of(view(), bounds_, q); }
+
+  /// The quantile computation on a frozen view: pure, lock-free. Use this
+  /// (with one view()) when reading several quantiles of a live histogram.
+  static double quantile_of(const View& view, std::span<const double> bounds,
+                            double q);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Bucket counts; size() == bounds().size() + 1 (last = overflow).

@@ -57,6 +57,24 @@ void DspWorkspace::release(std::vector<cplx>&& buf) {
   cplx_pool_.push_back(std::move(buf));
 }
 
+std::size_t DspWorkspace::pooled_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& buf : real_pool_) bytes += buf.capacity() * sizeof(double);
+  for (const auto& buf : cplx_pool_) bytes += buf.capacity() * sizeof(cplx);
+  return bytes;
+}
+
+void DspWorkspace::trim() {
+  const std::size_t dropped = pooled_bytes();
+  real_pool_.clear();
+  real_pool_.shrink_to_fit();
+  cplx_pool_.clear();
+  cplx_pool_.shrink_to_fit();
+  // Saturating: foreign buffers released into the pool were never counted
+  // into live_bytes_, so dropping them must not underflow the level.
+  live_bytes_ -= dropped < live_bytes_ ? dropped : live_bytes_;
+}
+
 void DspWorkspace::grow_live(std::size_t grown_bytes) {
   live_bytes_ += grown_bytes;
   if (live_bytes_ > high_water_bytes_) high_water_bytes_ = live_bytes_;

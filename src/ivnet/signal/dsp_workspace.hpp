@@ -53,6 +53,15 @@ class DspWorkspace {
   std::size_t pooled_real() const { return real_pool_.size(); }
   std::size_t pooled_cplx() const { return cplx_pool_.size(); }
 
+  /// Capacity bytes currently parked on the free lists (checkouts excluded).
+  std::size_t pooled_bytes() const;
+
+  /// Drop every parked buffer, returning its capacity to the allocator.
+  /// high_water_bytes() is unaffected (it is a peak, not a level); the live
+  /// level drops by the parked bytes. The service front-end trims each
+  /// worker's arena at shutdown so a stopped service holds no scratch.
+  void trim();
+
   /// Peak bytes of buffer capacity this workspace has grown (pooled plus
   /// checked out), counting each buffer's capacity from the moment an
   /// acquire grows it. Deterministic for a deterministic checkout sequence;

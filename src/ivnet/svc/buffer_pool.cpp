@@ -1,0 +1,70 @@
+#include "ivnet/svc/buffer_pool.hpp"
+
+namespace ivnet::svc {
+
+std::vector<double> BufferPool::acquire(std::size_t n) {
+  const std::size_t cls = size_class(n);
+  std::vector<double> buf;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First class whose capacity covers the request; parked buffers of a
+    // larger class stay put for larger requests (best-fit by class).
+    for (auto it = classes_.lower_bound(cls); it != classes_.end(); ++it) {
+      if (it->second.empty()) continue;
+      buf = std::move(it->second.back());
+      it->second.pop_back();
+      break;
+    }
+    if (buf.capacity() < cls) {
+      const std::size_t before = buf.capacity() * sizeof(double);
+      buf.reserve(cls);
+      live_bytes_ += buf.capacity() * sizeof(double) - before;
+      if (live_bytes_ > high_water_bytes_) high_water_bytes_ = live_bytes_;
+    }
+  }
+  buf.resize(n);
+  return buf;
+}
+
+void BufferPool::release(std::vector<double>&& buf) {
+  if (buf.capacity() == 0) return;
+  std::size_t cls = kMinClass;
+  while (cls * 2 <= buf.capacity()) cls <<= 1;  // round DOWN: capacity >= cls
+  std::lock_guard<std::mutex> lock(mutex_);
+  classes_[cls].push_back(std::move(buf));
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto& [cls, buffers] : classes_) {
+    for (const auto& buf : buffers) dropped += buf.capacity() * sizeof(double);
+    buffers.clear();
+  }
+  // Saturating: foreign buffers released into the pool were never counted
+  // live, so dropping them must not underflow the gauge.
+  live_bytes_ -= dropped < live_bytes_ ? dropped : live_bytes_;
+}
+
+std::size_t BufferPool::pooled_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [cls, buffers] : classes_) n += buffers.size();
+  return n;
+}
+
+std::size_t BufferPool::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [cls, buffers] : classes_) {
+    for (const auto& buf : buffers) bytes += buf.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+std::size_t BufferPool::high_water_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_bytes_;
+}
+
+}  // namespace ivnet::svc

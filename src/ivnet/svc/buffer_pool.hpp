@@ -1,0 +1,95 @@
+// Service-lifetime buffer pool keyed by power-of-two size class.
+//
+// DspWorkspace (signal/dsp_workspace.hpp) recycles scratch inside ONE
+// thread for the duration of one batch; a long-running service also churns
+// request/response payload buffers that cross threads (a worker fills a
+// response, the completion sink reads it, the buffer goes back for the next
+// request, possibly checked out by a different worker). BufferPool extends
+// the same arena discipline to service lifetime: buffers are parked on
+// per-size-class free lists behind one mutex, checkouts are served from the
+// class that covers the request, and steady-state serving is allocation-
+// free once every size class in play has been populated.
+//
+// Size classes are powers of two (minimum kMinClass elements), so mixed
+// request sizes cannot fragment the pool into one class per distinct length.
+// A buffer whose capacity is in [c, 2c) parks in class c and serves any
+// acquire(n) with n <= c.
+//
+// Ownership rules mirror DspWorkspace:
+//  - acquire(n) returns a buffer resized to n with UNSPECIFIED contents;
+//    overwrite before reading.
+//  - release() is an optimization, not an obligation: a caller that keeps
+//    (or moves out) a buffer simply costs the pool one fresh allocation
+//    later. Foreign buffers may be released into the pool; accounting for
+//    them is approximate (saturating), exactly like DspWorkspace.
+//  - high_water_bytes() is the peak of pool-created capacity live at once
+//    (parked + checked out) — the gauge the service exports so arena
+//    regrowth in a long-running process is visible in metrics snapshots.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ivnet::svc {
+
+class BufferPool {
+ public:
+  /// Smallest size class, in elements.
+  static constexpr std::size_t kMinClass = 64;
+
+  /// The size class (element count) that serves an acquire(n).
+  static std::size_t size_class(std::size_t n) {
+    std::size_t c = kMinClass;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  /// Check out a buffer resized to `n` (capacity >= size_class(n)).
+  /// Contents unspecified. Thread-safe.
+  std::vector<double> acquire(std::size_t n);
+
+  /// Park a buffer's storage for reuse. Empty vectors are dropped (moving a
+  /// response payload out leaves an empty shell behind; parking it would
+  /// grow the free lists with zero-capacity entries). Thread-safe.
+  void release(std::vector<double>&& buf);
+
+  /// Drop every parked buffer (live checkouts unaffected). A long-running
+  /// service calls this on drain so an arrival burst cannot pin its peak
+  /// footprint forever.
+  void trim();
+
+  std::size_t pooled_buffers() const;
+  std::size_t pooled_bytes() const;
+  std::size_t high_water_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  /// class capacity (elements) -> parked buffers of that class
+  std::map<std::size_t, std::vector<std::vector<double>>> classes_;
+  std::size_t live_bytes_ = 0;        // pool-created capacity out or parked
+  std::size_t high_water_bytes_ = 0;  // peak of live_bytes_
+};
+
+/// RAII checkout, for callers that consume a buffer within one scope.
+class PooledBuffer {
+ public:
+  PooledBuffer(BufferPool& pool, std::size_t n)
+      : pool_(&pool), buf_(pool.acquire(n)) {}
+  ~PooledBuffer() { pool_->release(std::move(buf_)); }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  std::vector<double>& operator*() { return buf_; }
+  std::vector<double>* operator->() { return &buf_; }
+  double* data() { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  BufferPool* pool_;
+  std::vector<double> buf_;
+};
+
+}  // namespace ivnet::svc

@@ -1,0 +1,126 @@
+// Bounded lock-free MPMC ring queue — the request spine of the inventory
+// service (svc/service.hpp).
+//
+// Vyukov's bounded MPMC design: every slot carries a sequence number that
+// encodes which lap of the ring it is on. A producer claims a slot by
+// CAS-advancing enqueue_pos_ when the slot's sequence says "empty on this
+// lap"; a consumer claims one by CAS-advancing dequeue_pos_ when it says
+// "full on this lap". Both sides therefore fail fast — try_push returns
+// false on a full ring (the service's shedding path), try_pop returns false
+// on an empty ring — and neither ever blocks or allocates.
+//
+// Ordering guarantees the svc_test suite pins:
+//  - every pushed element is popped exactly once (no duplication, no loss);
+//  - pops observe pushes in claim order, so two pushes from the SAME
+//    producer thread are popped in program order (FIFO per producer).
+//
+// The queue does not provide blocking waits by design; the service pairs it
+// with a counting semaphore whose credits mirror the element count (one
+// release per successful push), which keeps the hot path lock-free while
+// idle workers sleep in the kernel instead of spinning.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ivnet::svc {
+
+template <typename T>
+class MpmcRingQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2. Slots are
+  /// default-constructed once and assigned on push, so T must be default-
+  /// constructible and movable (the service's Request is a POD).
+  explicit MpmcRingQueue(std::size_t min_capacity)
+      : slots_(round_up_pow2(min_capacity)), mask_(slots_.size() - 1) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRingQueue(const MpmcRingQueue&) = delete;
+  MpmcRingQueue& operator=(const MpmcRingQueue&) = delete;
+
+  /// False when the ring is full (bounded-queue shedding). Safe from any
+  /// number of producer threads.
+  bool try_push(T value) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // slot still holds last lap's element: ring is full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty. Safe from any number of consumer threads.
+  bool try_pop(T& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // next slot not yet published: ring is empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(slot->value);
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Approximate occupancy (racy by nature; for telemetry only).
+  std::size_t size_estimate() const {
+    const std::size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<Slot> slots_;
+  const std::size_t mask_;
+  // Producers and consumers advance independent counters; keep them on
+  // separate cache lines so contention on one side cannot slow the other.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace ivnet::svc

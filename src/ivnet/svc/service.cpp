@@ -1,0 +1,229 @@
+#include "ivnet/svc/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/batch_pipeline.hpp"
+
+namespace ivnet::svc {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point t0,
+                       std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+const char* kind_counter(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kDecode:
+      return "svc.requests.decode";
+    case RequestKind::kInventory:
+      return "svc.requests.inventory";
+    case RequestKind::kPlan:
+      return "svc.requests.plan";
+    case RequestKind::kPause:
+      return "svc.requests.pause";
+  }
+  return "svc.requests.unknown";
+}
+
+}  // namespace
+
+ImpairedLinkConfig link_config_for(const ServiceConfig& config,
+                                   const Request& request) {
+  ImpairedLinkConfig link = config.link;
+  link.snr_db = request.snr_db;
+  link.num_antennas = std::max<std::size_t>(1, request.antennas);
+  link.medium_loss_db = request.medium_loss_db;
+  if (request.kind == RequestKind::kInventory) {
+    // Inventory dialogues are the heavier class: adaptive Q from a dense-
+    // population prior plus one extra recovery attempt over the template.
+    link.adaptive_q.initial_q = 2.0;
+    link.recovery.max_attempts =
+        std::max(link.recovery.max_attempts, 3);
+  }
+  return link;
+}
+
+InventoryService::InventoryService(ServiceConfig config, CompletionSink sink)
+    : config_(config),
+      sink_(std::move(sink)),
+      queue_(std::max<std::size_t>(2, config.queue_depth)),
+      workers_(std::max<std::size_t>(1, config.workers)) {
+  obs::gauge_set("svc.workers", static_cast<double>(workers_.size()));
+  obs::gauge_set("svc.queue_depth", static_cast<double>(queue_.capacity()));
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+InventoryService::~InventoryService() { stop(); }
+
+bool InventoryService::submit(Request request) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    obs::count("svc.rejected.stopped");
+    return false;
+  }
+  request.accepted_at = std::chrono::steady_clock::now();
+  if (!queue_.try_push(request)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.rejected");
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.accepted");
+  ready_.release();
+  return true;
+}
+
+void InventoryService::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  ready_.release(static_cast<std::ptrdiff_t>(workers_.size()));
+  for (Worker& worker : workers_) worker.thread.join();
+  // A submit racing the shutdown may have pushed after the workers drew
+  // their shutdown credits; finish those requests inline so stop() always
+  // leaves an empty ring.
+  {
+    ScopedInlineParallel inline_parallel;
+    Request request;
+    while (queue_.try_pop(request)) handle(request, workers_[0].workspace);
+  }
+  std::size_t workspace_high_water = 0;
+  for (const Worker& worker : workers_) {
+    workspace_high_water =
+        std::max(workspace_high_water, worker.workspace.high_water_bytes());
+  }
+  obs::gauge_set("svc.workspace.high_water_bytes",
+                 static_cast<double>(workspace_high_water));
+  obs::gauge_set("svc.bufferpool.high_water_bytes",
+                 static_cast<double>(pool_.high_water_bytes()));
+  obs::gauge_set("svc.inflight", 0.0);
+  pool_.trim();
+  stopped_ = true;
+}
+
+void InventoryService::release_pause(std::size_t count) {
+  if (count > 0) pause_gate_.release(static_cast<std::ptrdiff_t>(count));
+}
+
+void InventoryService::worker_loop(std::size_t index) {
+  // Request handlers that reach parallelized kernels (kPlan's optimizer)
+  // run them inline on this worker: the service pool IS the parallelism.
+  ScopedInlineParallel inline_parallel;
+  DspWorkspace& workspace = workers_[index].workspace;
+  for (;;) {
+    ready_.acquire();
+    Request request;
+    if (!queue_.try_pop(request)) {
+      // Credits mirror elements one-for-one, so an empty pop means this
+      // credit was a shutdown credit from stop(): drain is complete.
+      return;
+    }
+    handle(request, workspace);
+  }
+}
+
+void InventoryService::handle(Request request, DspWorkspace& workspace) {
+  const auto picked_at = std::chrono::steady_clock::now();
+  const double queue_wait_s = seconds_between(request.accepted_at, picked_at);
+  const std::size_t inflight_now =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = inflight_peak_.load(std::memory_order_relaxed);
+  while (inflight_now > peak &&
+         !inflight_peak_.compare_exchange_weak(peak, inflight_now,
+                                               std::memory_order_relaxed)) {
+  }
+  obs::gauge_set("svc.inflight", static_cast<double>(inflight_now));
+  obs::observe("svc.queue_wait", queue_wait_s);
+
+  Response response = execute(request, workspace);
+  response.queue_wait_s = queue_wait_s;
+  response.service_s =
+      seconds_between(picked_at, std::chrono::steady_clock::now());
+  obs::observe("svc.service_time", response.service_s);
+  obs::observe("svc.sim_elapsed_s", response.sim_elapsed_s);
+  obs::count(kind_counter(request.kind));
+  obs::count("svc.completed");
+  obs::count("svc.success", response.succeeded);
+  if (request.kind == RequestKind::kDecode ||
+      request.kind == RequestKind::kInventory) {
+    obs::count("svc.sessions", request.trials);
+  }
+
+  // Retire BEFORE the sink runs: a closed-loop submitter that wakes on the
+  // sink's completion signal must see this request already out of flight,
+  // or its concurrency window would transiently overshoot by one.
+  const std::size_t inflight_after =
+      inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  obs::gauge_set("svc.inflight", static_cast<double>(inflight_after));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+
+  if (sink_) sink_(response);
+  pool_.release(std::move(response.per_trial_elapsed_s));
+}
+
+Response InventoryService::execute(const Request& request,
+                                   DspWorkspace& workspace) {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+
+  switch (request.kind) {
+    case RequestKind::kPause:
+      pause_gate_.acquire();
+      return response;
+
+    case RequestKind::kPlan: {
+      // Small re-plan: the Eq. 10 search at request scale. Deterministic in
+      // (seed, antennas); the optimizer's internal parallel_for runs inline
+      // on this worker (see worker_loop).
+      OptimizerConfig opt_config;
+      opt_config.num_antennas =
+          std::clamp<std::size_t>(request.antennas, 2, 12);
+      opt_config.mc_trials = 8;
+      opt_config.iterations = 16;
+      opt_config.restarts = 1;
+      FrequencyOptimizer optimizer(opt_config);
+      Rng rng(request.seed);
+      const OptimizerResult result = optimizer.optimize(rng);
+      response.succeeded = 1;
+      response.plan_score = result.score;
+      return response;
+    }
+
+    case RequestKind::kDecode:
+    case RequestKind::kInventory: {
+      const ImpairedLinkConfig link = link_config_for(config_, request);
+      const std::uint32_t trials = std::max<std::uint32_t>(1, request.trials);
+      response.trials = trials;
+      response.per_trial_elapsed_s = pool_.acquire(trials);
+      const auto sink = [&response](std::size_t t,
+                                    const SessionOutcome& outcome) {
+        // Sink runs in ascending trial order: the summed air time folds
+        // deterministically.
+        response.succeeded += outcome.success;
+        response.sim_elapsed_s += outcome.elapsed_s;
+        response.per_trial_elapsed_s[t] = outcome.elapsed_s;
+      };
+      // Trial t seeds from Rng::stream(seed, t) regardless of the chunking,
+      // so the batch knob changes lane width, never outcomes.
+      const std::size_t batch =
+          resolve_batch_size(BatchConfig{config_.batch_size});
+      for (std::size_t lo = 0; lo < trials; lo += batch) {
+        run_session_batch(link, request.seed, /*stream_stride=*/1,
+                          /*stream_offset=*/0, lo,
+                          std::min<std::size_t>(trials, lo + batch), workspace,
+                          sink);
+      }
+      return response;
+    }
+  }
+  return response;
+}
+
+}  // namespace ivnet::svc

@@ -1,0 +1,179 @@
+// Always-on inventory service: the request/response front-end over the
+// simulation stack.
+//
+// Every workload in this repo used to be a batch bench or campaign; the
+// paper's reader, though, is a persistent per-patient device serving a
+// stream of decode / inventory / re-plan requests. InventoryService is that
+// serving shape:
+//
+//   submit() --> bounded lock-free MPMC ring (svc/mpmc_queue.hpp)
+//            --> fixed worker pool (dedicated threads; one DspWorkspace
+//                arena per worker, requests executed through the batched
+//                session pipeline of sim/batch_pipeline.hpp)
+//            --> completion sink (one std::function installed at
+//                construction; response payload buffers recycle through a
+//                service-lifetime BufferPool)
+//
+// Shedding policy: submit() never blocks. A full ring rejects the request
+// (returns false, counts svc.rejected) — open-loop load beyond saturation
+// sheds at the front door instead of growing an unbounded backlog. Submits
+// after stop() are refused and counted separately (svc.rejected.stopped),
+// so "rejected" always means "shed by the bounded queue".
+//
+// Shutdown protocol (deterministic drain): stop() closes the front door,
+// releases one shutdown credit per worker on the queue semaphore, and
+// joins. Workers exit on the first pop that finds the ring empty — credits
+// mirror elements one-for-one, so every request accepted before stop() is
+// executed before its worker exits. After the join, stop() drains any
+// element a racing submit slipped past the closed door, publishes the
+// arena/bufferpool high-water gauges, trims the pools, and zeroes
+// svc.inflight. stop() is idempotent; the destructor calls it.
+//
+// Determinism: a response is a pure function of the request fields and the
+// service's link-config template — worker count, queue depth, and arrival
+// timing never change response bytes. Request trials run through
+// run_session_batch with per-trial Rng::stream seeds (stride 1, offset 0),
+// so a decode request's outcome is bitwise-identical to running the scalar
+// oracle run_impaired_link_session trial-by-trial. determinism_test pins
+// the service-mode metrics snapshot (counters + sim-valued histograms)
+// byte-identical across reruns and across 1/2/8 workers; only wall-time-
+// valued metrics (svc.queue_wait, svc.service_time) and scheduling-
+// dependent gauges are outside that contract.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/signal/dsp_workspace.hpp"
+#include "ivnet/svc/buffer_pool.hpp"
+#include "ivnet/svc/mpmc_queue.hpp"
+
+namespace ivnet::svc {
+
+enum class RequestKind : std::uint8_t {
+  kDecode = 0,     ///< independent single-tag sessions (trials of them)
+  kInventory = 1,  ///< adaptive-Q inventory dialogues (heavier recovery)
+  kPlan = 2,       ///< small frequency-plan optimization (Eq. 10 search)
+  kPause = 3,      ///< test/bench gate: worker blocks until release_pause()
+};
+
+/// One service request. POD so it travels through the MPMC ring by value.
+struct Request {
+  RequestKind kind = RequestKind::kDecode;
+  std::uint16_t antennas = 1;
+  std::uint32_t trials = 1;          ///< sessions to run (decode/inventory)
+  std::uint64_t id = 0;              ///< caller correlation id
+  std::uint64_t seed = 0;            ///< Rng::stream base for the trials
+  double snr_db = 20.0;
+  double medium_loss_db = 0.0;
+  /// Stamped by submit(); queue wait is measured from this instant.
+  std::chrono::steady_clock::time_point accepted_at{};
+};
+
+/// One completed request, handed to the completion sink.
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kDecode;
+  std::uint32_t trials = 0;
+  std::uint32_t succeeded = 0;      ///< CRC-clean sessions (kPlan: 1)
+  double sim_elapsed_s = 0.0;       ///< summed simulated air time
+  double plan_score = 0.0;          ///< kPlan: objective of the winner
+  double queue_wait_s = 0.0;        ///< wall: accept -> worker pickup
+  double service_s = 0.0;           ///< wall: execution on the worker
+  /// Per-trial simulated elapsed seconds, trial order. Pooled storage: the
+  /// service recycles it after the sink returns, so read it inside the sink
+  /// (or move it out and forgo the recycling).
+  std::vector<double> per_trial_elapsed_s;
+};
+
+struct ServiceConfig {
+  std::size_t workers = 4;
+  std::size_t queue_depth = 256;  ///< rounded up to a power of two
+  /// Link template; snr_db / num_antennas / medium_loss_db and the
+  /// kind-specific recovery come from each request (link_config_for).
+  ImpairedLinkConfig link;
+  std::size_t batch_size = 0;  ///< 0 defers to default_batch_size()
+};
+
+/// The exact per-request link config a worker executes — exposed so tests
+/// can replay a request against the scalar oracle and memcmp the outcome.
+ImpairedLinkConfig link_config_for(const ServiceConfig& config,
+                                   const Request& request);
+
+class InventoryService {
+ public:
+  using CompletionSink = std::function<void(const Response&)>;
+
+  /// Spawns the worker pool immediately. `sink` is invoked once per
+  /// completed request, possibly concurrently from different workers; it
+  /// must be thread-safe. A null sink is allowed (fire-and-forget).
+  InventoryService(ServiceConfig config, CompletionSink sink);
+  ~InventoryService();  // stop()
+
+  InventoryService(const InventoryService&) = delete;
+  InventoryService& operator=(const InventoryService&) = delete;
+
+  /// Non-blocking. False when the bounded queue is full (request shed,
+  /// svc.rejected) or the service is stopping (svc.rejected.stopped).
+  bool submit(Request request);
+
+  /// Drain the queue, quiesce the workers, publish the arena gauges.
+  /// Idempotent. Callers must not race submit() against stop(): a submit
+  /// that wins the acceptance check while stop() runs may be executed by
+  /// the drain pass or dropped, and its accounting is then unspecified.
+  void stop();
+
+  /// Unblock `count` kPause requests (test/bench gating).
+  void release_pause(std::size_t count = 1);
+
+  // -- Introspection (monotonic counters are exact; inflight is racy) -----
+  std::uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  std::size_t inflight_peak() const { return inflight_peak_.load(std::memory_order_relaxed); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  std::size_t worker_count() const { return workers_.size(); }
+  const BufferPool& buffer_pool() const { return pool_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    DspWorkspace workspace;
+  };
+
+  void worker_loop(std::size_t index);
+  void handle(Request request, DspWorkspace& workspace);
+  Response execute(const Request& request, DspWorkspace& workspace);
+
+  ServiceConfig config_;
+  CompletionSink sink_;
+  MpmcRingQueue<Request> queue_;
+  /// Credits mirror queue occupancy: one release per accepted request, plus
+  /// one shutdown credit per worker from stop(). A worker whose pop comes
+  /// up empty has necessarily consumed a shutdown credit and exits.
+  std::counting_semaphore<> ready_{0};
+  std::counting_semaphore<> pause_gate_{0};
+  std::vector<Worker> workers_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  bool stopped_ = false;  // guarded by stop_mutex_
+
+  BufferPool pool_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> inflight_peak_{0};
+};
+
+}  // namespace ivnet::svc

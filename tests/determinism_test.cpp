@@ -18,6 +18,8 @@
 #include "ivnet/obs/trace.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/planner.hpp"
+#include "ivnet/svc/loadgen.hpp"
+#include "ivnet/svc/service.hpp"
 
 namespace ivnet {
 namespace {
@@ -330,6 +332,81 @@ TEST_F(DeterminismTest, SnapshotAndTraceTogetherByteEqualAcrossPoolSizes) {
     set_parallel_threads(threads);
     EXPECT_EQ(run(), reference) << "pool size " << threads;
   }
+}
+
+/// The balanced-brace object following `"key":` in `doc` (including the
+/// braces), or "" when absent. The snapshot emitter never puts braces inside
+/// strings, so brace counting is exact here.
+std::string extract_object(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t open = doc.find('{', at + needle.size());
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < doc.size(); ++i) {
+    if (doc[i] == '{') ++depth;
+    if (doc[i] == '}' && --depth == 0) {
+      return doc.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
+
+TEST_F(DeterminismTest, ServiceMetricsSnapshotByteEqualAcrossWorkerCounts) {
+  // Service mode inherits the metrics determinism contract: every counter
+  // and every SIM-time-valued histogram in the snapshot must be
+  // byte-identical across worker counts and across reruns. Wall-time
+  // histograms (svc.queue_wait, svc.service_time) and scheduling-dependent
+  // gauges (svc.inflight peaks, arena high-water) are explicitly outside
+  // the contract, so the pin compares the extracted sections, not the whole
+  // document.
+  svc::LoadGenConfig load;
+  svc::LoadState decode;
+  decode.rate_rps = 1000.0;
+  decode.kind = svc::RequestKind::kDecode;
+  decode.trials = 3;
+  decode.antennas = 2;
+  decode.snr_db = 14.0;
+  svc::LoadState plan = decode;
+  plan.kind = svc::RequestKind::kPlan;
+  plan.antennas = 4;
+  load.states = {decode, plan};
+  load.transition = {0.8, 0.2, 0.5, 0.5};
+  load.requests = 48;
+  load.seed = 23;
+  const auto schedule = svc::generate_schedule(load);
+
+  auto run = [&](std::size_t workers) {
+    obs::MetricsRegistry registry;
+    obs::install({.metrics = &registry, .tracer = nullptr});
+    {
+      svc::ServiceConfig config;
+      config.workers = workers;
+      config.queue_depth = 128;  // > requests: the reject path stays cold
+      svc::InventoryService service(config, nullptr);
+      for (const svc::ScheduledRequest& s : schedule) {
+        EXPECT_TRUE(service.submit(s.request));
+      }
+      service.stop();
+    }
+    obs::install_null();
+    const std::string snapshot = registry.snapshot_json();
+    return extract_object(snapshot, "counters") + "\n" +
+           extract_object(snapshot, "svc.sim_elapsed_s") + "\n" +
+           extract_object(snapshot, "link.elapsed_s");
+  };
+
+  set_parallel_threads(1);
+  const std::string reference = run(1);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference.front(), '{') << "counters section must extract";
+  ASSERT_NE(reference.find("svc.completed"), std::string::npos);
+  ASSERT_NE(reference.find("svc.requests.plan"), std::string::npos);
+  for (std::size_t workers : kPoolSizes) {
+    EXPECT_EQ(run(workers), reference) << "workers " << workers;
+  }
+  EXPECT_EQ(run(8), run(8)) << "rerun at fixed width must be byte-identical";
 }
 
 TEST_F(DeterminismTest, RngConsumedExactlyOncePerParallelCall) {

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ivnet/common/json.hpp"
 #include "ivnet/obs/metrics.hpp"
 #include "ivnet/obs/obs.hpp"
 #include "ivnet/obs/trace.hpp"
@@ -222,6 +224,64 @@ TEST(MetricsRegistryTest, ConcurrentAccessIsSafe) {
             static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_EQ(reg.histogram("shared_h").count(),
             static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(HistogramTest, ViewIsInternallyConsistent) {
+  Histogram h(Histogram::linear_bounds(0.0, 10.0, 10));
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i % 11));
+  const Histogram::View view = h.view();
+  EXPECT_EQ(view.count, 100u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : view.counts) sum += c;
+  EXPECT_EQ(sum, view.count);
+  EXPECT_EQ(Histogram::quantile_of(view, h.bounds(), 0.5), h.quantile(0.5));
+}
+
+TEST(HistogramTest, SnapshotWhileRecordingIsNeverTorn) {
+  // TSan + consistency target for the service's always-on shape: workers
+  // record into a histogram WHILE a snapshot is being taken. A snapshot
+  // assembled from separate count()/min()/quantile() calls can interleave
+  // with observes and report a count that disagrees with its bucket sums;
+  // the single-lock View must never do that.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("live", Histogram::linear_bounds(0.0, 1.0, 8));
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, &stop, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.observe(static_cast<double>((w + ++i) % 9) / 8.0);
+      }
+    });
+  }
+
+  for (int round = 0; round < 500; ++round) {
+    const Histogram::View view = h.view();
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : view.counts) sum += c;
+    ASSERT_EQ(sum, view.count)
+        << "round " << round << ": bucket sums tore away from the count";
+    if (view.count > 0) {
+      EXPECT_LE(view.min, view.max);
+      const double p99 = Histogram::quantile_of(view, h.bounds(), 0.99);
+      EXPECT_GE(p99, view.min);
+      EXPECT_LE(p99, view.max);
+    }
+    // The full JSON path too: it must assemble each histogram from one view.
+    const std::string snapshot = reg.snapshot_json();
+    const auto count = static_cast<std::uint64_t>(
+        json_find_number(snapshot, "count", -1.0));
+    EXPECT_GE(count, view.count) << "count can only grow";
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+
+  const Histogram::View final_view = h.view();
+  std::uint64_t final_sum = 0;
+  for (const std::uint64_t c : final_view.counts) final_sum += c;
+  EXPECT_EQ(final_sum, final_view.count);
 }
 
 TEST(NullSink, HooksAreNoOpsWithoutInstall) {

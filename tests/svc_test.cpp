@@ -1,0 +1,462 @@
+// Service front-end suite: the MPMC ring, the size-class buffer pool, and
+// the InventoryService lifecycle (exactly-once execution, bounded-queue
+// shedding, graceful-shutdown drain, scalar-oracle response identity).
+// The contention tests are the ASan/TSan targets: tools/ci.sh runs this
+// binary under both sanitizers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/common/rng.hpp"
+#include "ivnet/impair/link_session.hpp"
+#include "ivnet/signal/dsp_workspace.hpp"
+#include "ivnet/svc/buffer_pool.hpp"
+#include "ivnet/svc/mpmc_queue.hpp"
+#include "ivnet/svc/service.hpp"
+
+namespace ivnet::svc {
+namespace {
+
+// ---------------------------------------------------------------- MPMC ring
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcRingQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcRingQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcRingQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcRingQueue<int>(256).capacity(), 256u);
+  EXPECT_EQ(MpmcRingQueue<int>(257).capacity(), 512u);
+}
+
+TEST(MpmcQueueTest, RejectsWhenFullRecoversAfterPop) {
+  MpmcRingQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99)) << "full ring must shed, not block";
+  int out = -1;
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(4)) << "one pop frees exactly one slot";
+  EXPECT_FALSE(queue.try_push(5));
+}
+
+TEST(MpmcQueueTest, PopOnEmptyFails) {
+  MpmcRingQueue<int> queue(4);
+  int out = 0;
+  EXPECT_FALSE(queue.try_pop(out));
+  queue.try_push(7);
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(MpmcQueueTest, FifoPerProducerWithSingleConsumer) {
+  // Two producers interleave arbitrarily, but each producer's own values
+  // must come out in the order it pushed them.
+  constexpr std::uint64_t kPerProducer = 20000;
+  MpmcRingQueue<std::uint64_t> queue(64);
+  std::atomic<bool> go{false};
+  auto producer = [&](std::uint64_t tag) {
+    while (!go.load()) {
+    }
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      const std::uint64_t value = (tag << 32) | i;
+      while (!queue.try_push(value)) std::this_thread::yield();
+    }
+  };
+  std::thread p0(producer, 0), p1(producer, 1);
+  std::int64_t last[2] = {-1, -1};
+  std::uint64_t popped = 0;
+  go.store(true);
+  while (popped < 2 * kPerProducer) {
+    std::uint64_t value = 0;
+    if (!queue.try_pop(value)) continue;
+    const std::size_t tag = value >> 32;
+    const auto seq = static_cast<std::int64_t>(value & 0xffffffffull);
+    ASSERT_EQ(seq, last[tag] + 1) << "producer " << tag << " reordered";
+    last[tag] = seq;
+    ++popped;
+  }
+  p0.join();
+  p1.join();
+}
+
+TEST(MpmcQueueTest, ExactlyOnceUnderProducerConsumerContention) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 8000;
+  constexpr std::size_t kTotal = kProducers * kPerProducer;
+
+  MpmcRingQueue<std::size_t> queue(32);  // small: force wraparound pressure
+  std::vector<std::atomic<std::uint32_t>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t value = p * kPerProducer + i;
+        while (!queue.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::size_t value = 0;
+        if (queue.try_pop(value)) {
+          seen[value].fetch_add(1);
+          if (consumed.fetch_add(1) + 1 == kTotal) return;
+        } else if (consumed.load() >= kTotal) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(seen[v].load(), 1u) << "value " << v << " not exactly-once";
+  }
+  std::size_t drained = 0;
+  EXPECT_FALSE(queue.try_pop(drained)) << "ring must end empty";
+}
+
+// ------------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, SizeClassRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BufferPool::size_class(0), BufferPool::kMinClass);
+  EXPECT_EQ(BufferPool::size_class(1), BufferPool::kMinClass);
+  EXPECT_EQ(BufferPool::size_class(64), 64u);
+  EXPECT_EQ(BufferPool::size_class(65), 128u);
+  EXPECT_EQ(BufferPool::size_class(1000), 1024u);
+}
+
+TEST(BufferPoolTest, RecyclesStorageAcrossCheckouts) {
+  BufferPool pool;
+  std::vector<double> buf = pool.acquire(100);
+  const double* storage = buf.data();
+  ASSERT_GE(buf.capacity(), 128u);
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled_buffers(), 1u);
+
+  // Same class: must hand back the same storage, no fresh allocation.
+  std::vector<double> again = pool.acquire(80);
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_EQ(pool.pooled_buffers(), 0u);
+  pool.release(std::move(again));
+}
+
+TEST(BufferPoolTest, HighWaterStopsGrowingOnceWarm) {
+  BufferPool pool;
+  for (int round = 0; round < 3; ++round) {
+    pool.release(pool.acquire(500));
+  }
+  const std::size_t warm = pool.high_water_bytes();
+  EXPECT_GT(warm, 0u);
+  for (int round = 0; round < 50; ++round) {
+    pool.release(pool.acquire(500));
+    // Smaller checkouts reuse the parked larger-class buffer (first fit by
+    // class): still no fresh allocation.
+    pool.release(pool.acquire(100));
+  }
+  EXPECT_EQ(pool.high_water_bytes(), warm)
+      << "steady-state checkouts must not regrow the pool";
+}
+
+TEST(BufferPoolTest, TrimDropsParkedStorage) {
+  BufferPool pool;
+  // Hold both before releasing, or the second acquire would just recycle
+  // the first (larger-class) buffer and only one would ever exist.
+  std::vector<double> big = pool.acquire(300);
+  std::vector<double> small = pool.acquire(30);
+  pool.release(std::move(big));
+  pool.release(std::move(small));
+  EXPECT_EQ(pool.pooled_buffers(), 2u);
+  EXPECT_GT(pool.pooled_bytes(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.pooled_buffers(), 0u);
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+  // high-water is a peak, not a level.
+  EXPECT_GT(pool.high_water_bytes(), 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentCheckoutsAreExclusive) {
+  BufferPool pool;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<double> buf = pool.acquire(64 + 64 * w);
+        // Stamp and verify: another thread holding the same storage would
+        // tear these writes (and TSan would flag the race outright).
+        const double stamp = static_cast<double>(w * kRounds + r);
+        for (double& v : buf) v = stamp;
+        for (const double& v : buf) {
+          if (v != stamp) overlap.store(true);
+        }
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(overlap.load()) << "two checkouts shared storage";
+}
+
+// -------------------------------------------------- workspace trim + inline
+
+TEST(DspWorkspaceTrimTest, TrimDropsParkedKeepsHighWater) {
+  DspWorkspace ws;
+  ws.release(ws.acquire_real(1000));
+  ws.release(ws.acquire_cplx(500));
+  EXPECT_GT(ws.pooled_bytes(), 0u);
+  const std::size_t peak = ws.high_water_bytes();
+  ws.trim();
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+  EXPECT_EQ(ws.pooled_real(), 0u);
+  EXPECT_EQ(ws.pooled_cplx(), 0u);
+  EXPECT_EQ(ws.high_water_bytes(), peak);
+  // Post-trim acquires regrow from zero live bytes, not negative.
+  ws.release(ws.acquire_real(1000));
+  EXPECT_EQ(ws.high_water_bytes(), peak);
+}
+
+TEST(ScopedInlineParallelTest, ForcesInlineExecutionAndRestores) {
+  set_parallel_threads(8);
+  std::thread::id caller = std::this_thread::get_id();
+  {
+    ScopedInlineParallel inline_scope;
+    std::atomic<bool> foreign{false};
+    parallel_for(64, [&](std::size_t) {
+      if (std::this_thread::get_id() != caller) foreign.store(true);
+    });
+    EXPECT_FALSE(foreign.load())
+        << "parallel_for inside the scope must run on the calling thread";
+  }
+  set_parallel_threads(0);
+}
+
+// ---------------------------------------------------------------- service
+
+/// Thread-safe test sink capturing full responses (including a copy of the
+/// pooled per-trial buffer, which the service recycles after we return).
+struct CaptureSink {
+  std::mutex mutex;
+  std::map<std::uint64_t, Response> by_id;
+
+  InventoryService::CompletionSink sink() {
+    return [this](const Response& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_id[r.id] = r;  // copies per_trial_elapsed_s before recycling
+    };
+  }
+};
+
+Request decode_request(std::uint64_t id, std::uint64_t seed,
+                       std::uint32_t trials = 3) {
+  Request request;
+  request.kind = RequestKind::kDecode;
+  request.id = id;
+  request.seed = seed;
+  request.trials = trials;
+  request.antennas = 2;
+  request.snr_db = 14.0;
+  return request;
+}
+
+TEST(InventoryServiceTest, CompletesEveryAcceptedRequestMatchesOracle) {
+  constexpr std::size_t kRequests = 24;
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 64;
+
+  CaptureSink capture;
+  std::vector<Request> submitted;
+  {
+    InventoryService service(config, capture.sink());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const Request request = decode_request(i, 1000 + 17 * i);
+      ASSERT_TRUE(service.submit(request));
+      submitted.push_back(request);
+    }
+    service.stop();
+    EXPECT_EQ(service.accepted(), kRequests);
+    EXPECT_EQ(service.completed(), kRequests);
+    EXPECT_EQ(service.rejected(), 0u);
+    EXPECT_EQ(service.inflight(), 0u);
+  }
+  ASSERT_EQ(capture.by_id.size(), kRequests);
+
+  // Every response must be bitwise what the scalar oracle produces for the
+  // same request: stream(seed, t) per trial, the exact link_config_for
+  // template. This is the determinism contract submit-order, worker count,
+  // and arrival timing are excluded from.
+  for (const Request& request : submitted) {
+    const auto it = capture.by_id.find(request.id);
+    ASSERT_NE(it, capture.by_id.end());
+    const Response& response = it->second;
+    EXPECT_EQ(response.trials, request.trials);
+    ASSERT_EQ(response.per_trial_elapsed_s.size(), request.trials);
+
+    const ImpairedLinkConfig link = link_config_for(config, request);
+    std::uint32_t oracle_succeeded = 0;
+    double oracle_elapsed = 0.0;
+    for (std::uint32_t t = 0; t < request.trials; ++t) {
+      Rng rng = Rng::stream(request.seed, t);
+      const LinkSessionReport report = run_impaired_link_session(link, rng);
+      oracle_succeeded += report.success ? 1 : 0;
+      oracle_elapsed += report.elapsed_s;
+      EXPECT_EQ(response.per_trial_elapsed_s[t], report.elapsed_s)
+          << "request " << request.id << " trial " << t;
+    }
+    EXPECT_EQ(response.succeeded, oracle_succeeded);
+    EXPECT_EQ(response.sim_elapsed_s, oracle_elapsed);
+  }
+}
+
+TEST(InventoryServiceTest, InventoryKindUsesHeavierRecoveryTemplate) {
+  ServiceConfig config;
+  Request request = decode_request(0, 5);
+  request.kind = RequestKind::kInventory;
+  const ImpairedLinkConfig link = link_config_for(config, request);
+  EXPECT_GE(link.recovery.max_attempts, 3);
+  EXPECT_EQ(link.adaptive_q.initial_q, 2.0);
+  EXPECT_EQ(link.num_antennas, 2u);
+  EXPECT_EQ(link.snr_db, 14.0);
+}
+
+TEST(InventoryServiceTest, BoundedQueueShedsWhenFull) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 2;
+
+  InventoryService service(config, nullptr);
+  // Block the only worker on the pause gate, then fill the ring.
+  Request pause;
+  pause.kind = RequestKind::kPause;
+  ASSERT_TRUE(service.submit(pause));
+  while (service.inflight() == 0) std::this_thread::yield();
+
+  ASSERT_TRUE(service.submit(decode_request(1, 1, 1)));
+  ASSERT_TRUE(service.submit(decode_request(2, 2, 1)));
+  EXPECT_FALSE(service.submit(decode_request(3, 3, 1)))
+      << "third request must shed: ring capacity is 2 and the worker is "
+         "blocked";
+  EXPECT_EQ(service.rejected(), 1u);
+
+  service.release_pause();
+  service.stop();
+  EXPECT_EQ(service.accepted(), 3u);  // pause + 2 decodes
+  EXPECT_EQ(service.completed(), 3u) << "shutdown must drain the backlog";
+}
+
+TEST(InventoryServiceTest, GracefulShutdownDrainsBacklog) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_depth = 512;
+
+  std::atomic<std::size_t> completions{0};
+  InventoryService service(config,
+                           [&](const Response&) { completions.fetch_add(1); });
+  constexpr std::size_t kRequests = 300;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(service.submit(decode_request(i, i, 1)));
+  }
+  // Stop immediately: nearly all of the backlog is still queued.
+  service.stop();
+  EXPECT_EQ(completions.load(), kRequests);
+  EXPECT_EQ(service.completed(), kRequests);
+  EXPECT_EQ(service.buffer_pool().pooled_buffers(), 0u)
+      << "stop() trims the pool";
+
+  // Post-stop submits are refused and counted separately.
+  EXPECT_FALSE(service.submit(decode_request(kRequests, 0, 1)));
+  EXPECT_EQ(service.rejected(), 0u)
+      << "stopped-service refusals are not queue sheds";
+}
+
+TEST(InventoryServiceTest, StopIsIdempotentAndDestructorSafe) {
+  ServiceConfig config;
+  config.workers = 2;
+  InventoryService service(config, nullptr);
+  ASSERT_TRUE(service.submit(decode_request(0, 1, 1)));
+  service.stop();
+  service.stop();  // second stop is a no-op
+  EXPECT_EQ(service.completed(), 1u);
+}
+
+TEST(InventoryServiceTest, PlanRequestsAreDeterministic) {
+  ServiceConfig config;
+  config.workers = 2;
+
+  auto run_plan = [&](std::uint64_t seed) {
+    CaptureSink capture;
+    InventoryService service(config, capture.sink());
+    Request request;
+    request.kind = RequestKind::kPlan;
+    request.id = 1;
+    request.seed = seed;
+    request.antennas = 6;
+    EXPECT_TRUE(service.submit(request));
+    service.stop();
+    return capture.by_id.at(1).plan_score;
+  };
+  const double a = run_plan(7);
+  const double b = run_plan(7);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same plan score";
+  EXPECT_GT(a, 0.0);
+  EXPECT_NE(run_plan(8), a) << "different seed should explore differently";
+}
+
+TEST(InventoryServiceTest, BufferPoolReachesSteadyStateAcrossRequests) {
+  ServiceConfig config;
+  config.workers = 1;  // single worker: strict request serialization
+  config.queue_depth = 64;
+
+  InventoryService service(config, nullptr);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.submit(decode_request(i, i, 50)));
+  }
+  service.stop();
+  // 8 identical-size responses through 1 worker: one buffer serves them
+  // all, so the pool's lifetime growth is a single size class.
+  EXPECT_EQ(service.buffer_pool().high_water_bytes(),
+            BufferPool::size_class(50) * sizeof(double));
+}
+
+TEST(InventoryServiceTest, BatchSizeKnobDoesNotChangeResponses) {
+  auto digest_with_batch = [](std::size_t batch_size) {
+    ServiceConfig config;
+    config.workers = 2;
+    config.batch_size = batch_size;
+    CaptureSink capture;
+    InventoryService service(config, capture.sink());
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_TRUE(service.submit(decode_request(i, 100 + i, 9)));
+    }
+    service.stop();
+    std::vector<double> elapsed;
+    for (const auto& [id, response] : capture.by_id) {
+      elapsed.insert(elapsed.end(), response.per_trial_elapsed_s.begin(),
+                     response.per_trial_elapsed_s.end());
+    }
+    return elapsed;
+  };
+  const auto scalar = digest_with_batch(1);
+  ASSERT_EQ(scalar.size(), 6u * 9u);
+  EXPECT_EQ(digest_with_batch(4), scalar);
+  EXPECT_EQ(digest_with_batch(32), scalar);
+}
+
+}  // namespace
+}  // namespace ivnet::svc

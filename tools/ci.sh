@@ -2,8 +2,10 @@
 # The CI pipeline, runnable locally: default build + full test suite, the
 # same suite under AddressSanitizer and ThreadSanitizer (the determinism
 # tests exercise 1/2/8-thread pools, so TSan sees real contention), a
-# Debug spot-check of the DSP input-validation and campaign suites (the
-# other legs are NDEBUG builds), a small
+# Debug spot-check of the DSP input-validation, campaign, and service
+# suites (the other legs are NDEBUG builds), an inventory-service bench
+# (digest-identity gated) plus a bounded 10k-request soak through
+# `ivnet serve` that must shed nothing while unsaturated, a small
 # traced sweep whose metrics/trace artifacts are archived and smoke-checked
 # as JSON, a campaign kill-and-resume determinism check (SIGKILL mid-run,
 # resume from the journal, byte-compare against an uninterrupted run across
@@ -71,6 +73,48 @@ if ! build-ci/bench/bench_throughput "$ARTIFACT_DIR/BENCH_throughput.json"; then
   exit 1
 fi
 
+echo "=== ci: service latency/saturation bench (non-gating timings) ==="
+# Inventory service under the MMPP load harness: closed-loop saturation plus
+# an open-loop offered-load sweep at 1/2/8 workers. Latency numbers are
+# informational on shared hardware; the bench's response-digest identity
+# check (same request stream -> same response bytes at every pool width and
+# on a rerun) is a correctness gate, so its exit code fails the pipeline.
+if ! build-ci/bench/bench_service "$ARTIFACT_DIR/BENCH_service.json"; then
+  echo "ci: service responses diverged across worker counts" >&2
+  exit 1
+fi
+
+echo "=== ci: service soak (bounded, 10k requests, 8 workers) ==="
+# Run-to-completion soak through `ivnet serve`: a 2-state MMPP schedule well
+# below the 1-worker saturation point, deep queue. Unsaturated open-loop
+# serving must shed NOTHING and complete everything it accepted (the
+# graceful-shutdown drain guarantee); either miss fails the pipeline.
+build-ci/tools/ivnet serve --workers 8 --queue-depth 4096 \
+    --requests 10000 --rate 3000 --trials 1 --seed 41 --json \
+    > "$ARTIFACT_DIR/SOAK_service.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR/SOAK_service.json" <<'PY'
+import json, sys
+soak = json.load(open(sys.argv[1]))
+assert soak["submitted"] == 10000, soak["submitted"]
+assert soak["rejected"] == 0, f"unsaturated soak shed {soak['rejected']} requests"
+assert soak["completed"] == soak["accepted"] == 10000, \
+    f"drain lost requests: {soak['completed']}/{soak['accepted']}"
+print(f"ci: soak {soak['completed']}/10000 completed, 0 rejected, "
+      f"p99 wait {soak['queue_wait_p99_s']*1e3:.2f} ms, "
+      f"digest {soak['digest']}")
+PY
+else
+  grep -q '"rejected":0' "$ARTIFACT_DIR/SOAK_service.json" || {
+    echo "ci: unsaturated soak shed requests" >&2
+    exit 1
+  }
+  grep -q '"completed":10000' "$ARTIFACT_DIR/SOAK_service.json" || {
+    echo "ci: soak did not complete all 10000 requests" >&2
+    exit 1
+  }
+fi
+
 echo "=== ci: AddressSanitizer ==="
 build_and_test build-asan -DIVNET_SANITIZE=address
 
@@ -82,8 +126,8 @@ echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
 # the fir design validation used to vanish. Pin that the throwing contract
 # and the DSP/campaign suites hold in an assert-enabled Debug build too.
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test
-ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test'
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test svc_test loadgen_test obs_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test|svc_test|loadgen_test|obs_test'
 
 echo "=== ci: traced sweep artifacts ==="
 mkdir -p "$ARTIFACT_DIR"

@@ -9,6 +9,8 @@
 //   ivnet safety   [--antennas N] [--duty D] [--json]
 //   ivnet campaign run|status|resume --bench fig9|fig13|x13
 //                  [--journal FILE] [--out FILE] [--trials N] [--fresh]
+//   ivnet serve    [--workers N] [--queue-depth D] [--requests N|--duration S]
+//                  [--rate R] [--trials K] [--closed-loop [C]] [--json]
 //   ivnet help
 //
 // Global flags (any command):
@@ -37,6 +39,8 @@
 #include "ivnet/sim/planner.hpp"
 #include "ivnet/sim/safety.hpp"
 #include "ivnet/sim/waveform_session.hpp"
+#include "ivnet/svc/loadgen.hpp"
+#include "ivnet/svc/service.hpp"
 
 namespace {
 
@@ -415,6 +419,117 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const auto workers =
+      static_cast<std::size_t>(std::max(1.0, args.get_num("workers", 4)));
+  const auto queue_depth =
+      static_cast<std::size_t>(std::max(2.0, args.get_num("queue-depth", 256)));
+  const double rate = std::max(1e-3, args.get_num("rate", 500.0));
+  const double duration_s = args.get_num("duration", 0.0);
+  auto requests =
+      static_cast<std::size_t>(std::max(1.0, args.get_num("requests", 1000)));
+
+  // 2-state MMPP over the decode template: calm (0.5x) and surge (1.5x)
+  // around the requested mean rate, sticky states so bursts last ~10
+  // arrivals. The schedule is deterministic in --seed alone.
+  svc::LoadState calm;
+  calm.rate_rps = 0.5;
+  calm.trials = static_cast<std::uint32_t>(std::max(1.0, args.get_num("trials", 1)));
+  calm.antennas = static_cast<std::uint16_t>(std::max(1.0, args.get_num("antennas", 2)));
+  calm.snr_db = args.get_num("snr", 14.0);
+  calm.medium_loss_db = args.get_num("loss", 0.0);
+  svc::LoadState surge = calm;
+  surge.rate_rps = 1.5;
+
+  svc::LoadGenConfig load;
+  load.states = {calm, surge};
+  load.transition = {0.9, 0.1, 0.1, 0.9};
+  load.seed = static_cast<std::uint64_t>(args.get_num("seed", 41));
+  load.rate_scale = rate;
+  if (duration_s > 0.0) {
+    // Duration-bounded: oversample the schedule, then cut it at the clock.
+    load.requests = static_cast<std::size_t>(rate * duration_s * 2.0) + 64;
+  } else {
+    load.requests = requests;
+  }
+  auto schedule = svc::generate_schedule(load);
+  if (duration_s > 0.0) {
+    std::size_t n = 0;
+    while (n < schedule.size() && schedule[n].t_s <= duration_s) ++n;
+    schedule.resize(n);
+  }
+
+  svc::ServiceConfig config;
+  config.workers = workers;
+  config.queue_depth = queue_depth;
+
+  svc::LatencyCollector collector;
+  svc::InventoryService service(config, collector.sink());
+  svc::ReplayResult replay;
+  const bool closed = args.has("closed-loop");
+  if (closed) {
+    const auto window = static_cast<std::size_t>(
+        std::max(1.0, args.get_num("closed-loop", 4.0 * workers)));
+    replay = svc::run_closed_loop(service, collector, schedule, window);
+  } else {
+    replay = svc::run_open_loop(service, schedule,
+                                std::max(1e-6, args.get_num("time-scale", 1.0)));
+  }
+  service.stop();  // graceful: drains every accepted request
+
+  const std::size_t completed = collector.completed();
+  const double span_s = schedule.empty() ? 0.0 : schedule.back().t_s;
+  const double throughput =
+      replay.wall_s > 0.0 ? static_cast<double>(completed) / replay.wall_s : 0.0;
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(collector.digest()));
+
+  if (args.has("json")) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("workers", workers);
+    w.field("queue_depth", service.queue_capacity());
+    w.field("mode", closed ? "closed-loop" : "open-loop");
+    w.field("offered_rate_rps", rate);
+    w.field("schedule_span_s", span_s);
+    w.field("submitted", replay.submitted);
+    w.field("accepted", replay.accepted);
+    w.field("rejected", replay.rejected);
+    w.field("completed", completed);
+    w.field("succeeded_sessions",
+            static_cast<std::size_t>(collector.succeeded_sessions()));
+    w.field("wall_s", replay.wall_s);
+    w.field("throughput_rps", throughput);
+    w.field("queue_wait_p50_s", collector.queue_wait_quantile(0.50));
+    w.field("queue_wait_p99_s", collector.queue_wait_quantile(0.99));
+    w.field("service_p50_s", collector.service_quantile(0.50));
+    w.field("service_p99_s", collector.service_quantile(0.99));
+    w.field("latency_p99_s", collector.latency_quantile(0.99));
+    w.field("sim_elapsed_total_s", collector.sim_elapsed_total_s());
+    w.field("digest", digest_hex);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("serve (%s): %zu workers, queue %zu, %.0f req/s offered\n",
+                closed ? "closed-loop" : "open-loop", workers,
+                service.queue_capacity(), rate);
+    std::printf("  %zu submitted, %zu accepted, %zu rejected, %zu completed "
+                "in %.2f s (%.0f req/s)\n",
+                replay.submitted, replay.accepted, replay.rejected, completed,
+                replay.wall_s, throughput);
+    std::printf("  queue wait p50/p99: %.3f / %.3f ms, service p50/p99: "
+                "%.3f / %.3f ms\n",
+                collector.queue_wait_quantile(0.50) * 1e3,
+                collector.queue_wait_quantile(0.99) * 1e3,
+                collector.service_quantile(0.50) * 1e3,
+                collector.service_quantile(0.99) * 1e3);
+    std::printf("  response digest %s\n", digest_hex);
+  }
+  // Every accepted request must have completed: the drain guarantee.
+  return completed == replay.accepted ? 0 : 1;
+}
+
 int cmd_help() {
   std::printf(
       "ivnet — In-Vivo Networking (SIGCOMM'18) reproduction CLI\n\n"
@@ -429,7 +544,10 @@ int cmd_help() {
       "           [--depth M] [--reads-per-minute R] [--json]\n"
       "  campaign run|status|resume --bench fig9|fig13|x13\n"
       "           [--journal FILE] [--out FILE] [--trials N]\n"
-      "           [--range-trials N] [--fresh] [--json]\n\n"
+      "           [--range-trials N] [--fresh] [--json]\n"
+      "  serve    [--workers N] [--queue-depth D] [--requests N|--duration S]\n"
+      "           [--rate R] [--trials K] [--snr DB] [--closed-loop [C]]\n"
+      "           [--seed S] [--json]   MMPP load against the service\n\n"
       "global: --metrics-out FILE  --trace-out FILE  --trace-clock sim|wall\n"
       "        --batch-size K   batched lockstep trial pipeline (K trials\n"
       "                         per batch; bitwise-identical to scalar)\n");
@@ -457,6 +575,7 @@ int dispatch(const Args& args) {
   if (args.command == "safety") return cmd_safety(args);
   if (args.command == "deploy") return cmd_deploy(args);
   if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "serve") return cmd_serve(args);
   return cmd_help();
 }
 
