@@ -15,12 +15,17 @@ std::vector<double> BufferPool::acquire(std::size_t n) {
       it->second.pop_back();
       break;
     }
-    if (buf.capacity() < cls) {
-      const std::size_t before = buf.capacity() * sizeof(double);
-      buf.reserve(cls);
-      live_bytes_ += buf.capacity() * sizeof(double) - before;
-      if (live_bytes_ > high_water_bytes_) high_water_bytes_ = live_bytes_;
-    }
+  }
+  // Grow outside the critical section: holding the pool mutex across
+  // malloc would serialize every worker behind cold-path growth. Only the
+  // accounting re-takes the lock.
+  if (buf.capacity() < cls) {
+    const std::size_t before = buf.capacity() * sizeof(double);
+    buf.reserve(cls);
+    const std::size_t grown = buf.capacity() * sizeof(double) - before;
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_bytes_ += grown;
+    if (live_bytes_ > high_water_bytes_) high_water_bytes_ = live_bytes_;
   }
   buf.resize(n);
   return buf;

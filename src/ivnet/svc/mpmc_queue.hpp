@@ -17,7 +17,14 @@
 // The queue does not provide blocking waits by design; the service pairs it
 // with a counting semaphore whose credits mirror the element count (one
 // release per successful push), which keeps the hot path lock-free while
-// idle workers sleep in the kernel instead of spinning.
+// idle workers sleep in the kernel instead of spinning. One caveat of that
+// pairing: "empty" from try_pop can be TRANSIENT under concurrent
+// producers. A producer preempted between CAS-claiming the FIFO head slot
+// and publishing its sequence leaves the head unpoppable while a later
+// producer's completed push may already have released a credit — so a
+// credit holder whose pop comes up empty must retry unless it knows no
+// element can be in flight (the service only exits on empty once stop()
+// has closed the front door).
 #pragma once
 
 #include <atomic>

@@ -74,6 +74,9 @@ bool InventoryService::submit(Request request) {
     return false;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (request.kind == RequestKind::kPause) {
+    pause_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
   obs::count("svc.accepted");
   ready_.release();
   return true;
@@ -83,6 +86,20 @@ void InventoryService::stop() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
+  // Unblock every pause still parked on (or queued ahead of) the gate:
+  // without these credits a worker blocked in pause_gate_.acquire() could
+  // never be joined, and the inline drain below would hang on a queued
+  // kPause nobody will release. Over-releasing (a worker between acquire
+  // and its pause_passed_ increment) only leaves spare credits behind,
+  // which is harmless once the service is stopped.
+  const std::uint64_t pauses_submitted =
+      pause_submitted_.load(std::memory_order_acquire);
+  const std::uint64_t pauses_passed =
+      pause_passed_.load(std::memory_order_acquire);
+  if (pauses_submitted > pauses_passed) {
+    pause_gate_.release(
+        static_cast<std::ptrdiff_t>(pauses_submitted - pauses_passed));
+  }
   ready_.release(static_cast<std::ptrdiff_t>(workers_.size()));
   for (Worker& worker : workers_) worker.thread.join();
   // A submit racing the shutdown may have pushed after the workers drew
@@ -119,10 +136,16 @@ void InventoryService::worker_loop(std::size_t index) {
   for (;;) {
     ready_.acquire();
     Request request;
-    if (!queue_.try_pop(request)) {
-      // Credits mirror elements one-for-one, so an empty pop means this
-      // credit was a shutdown credit from stop(): drain is complete.
-      return;
+    while (!queue_.try_pop(request)) {
+      // A credit with no poppable element means one of two things. During
+      // shutdown it is a shutdown credit from stop(): drain is complete,
+      // exit. Outside shutdown it means a producer was preempted between
+      // CAS-claiming the FIFO head slot and publishing its sequence while a
+      // later push released this credit — the element is in flight, so spin
+      // until it lands. Exiting here instead would silently shrink the pool
+      // and strand an accepted request until stop().
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
     }
     handle(request, workspace);
   }
@@ -176,6 +199,7 @@ Response InventoryService::execute(const Request& request,
   switch (request.kind) {
     case RequestKind::kPause:
       pause_gate_.acquire();
+      pause_passed_.fetch_add(1, std::memory_order_release);
       return response;
 
     case RequestKind::kPlan: {

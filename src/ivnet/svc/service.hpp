@@ -21,10 +21,14 @@
 // so "rejected" always means "shed by the bounded queue".
 //
 // Shutdown protocol (deterministic drain): stop() closes the front door,
-// releases one shutdown credit per worker on the queue semaphore, and
-// joins. Workers exit on the first pop that finds the ring empty — credits
-// mirror elements one-for-one, so every request accepted before stop() is
-// executed before its worker exits. After the join, stop() drains any
+// releases one pause-gate credit per still-outstanding kPause (so a worker
+// parked on the gate can be joined and queued pauses cannot hang the
+// drain), releases one shutdown credit per worker on the queue semaphore,
+// and joins. A worker treats an empty pop as a shutdown credit ONLY once
+// stop() has set the stopping flag; before that an empty pop just means a
+// producer is mid-publish (see mpmc_queue.hpp) and the worker retries, so
+// the pool can never shrink mid-run. Every request accepted before stop()
+// is executed before its worker exits. After the join, stop() drains any
 // element a racing submit slipped past the closed door, publishes the
 // arena/bufferpool high-water gauges, trims the pools, and zeroes
 // svc.inflight. stop() is idempotent; the destructor calls it.
@@ -125,9 +129,12 @@ class InventoryService {
   bool submit(Request request);
 
   /// Drain the queue, quiesce the workers, publish the arena gauges.
-  /// Idempotent. Callers must not race submit() against stop(): a submit
-  /// that wins the acceptance check while stop() runs may be executed by
-  /// the drain pass or dropped, and its accounting is then unspecified.
+  /// Outstanding kPause requests (parked on or queued ahead of the gate)
+  /// are force-released, so an unbalanced release_pause() cannot hang
+  /// shutdown. Idempotent. Callers must not race submit() against stop():
+  /// a submit that wins the acceptance check while stop() runs may be
+  /// executed by the drain pass or dropped, and its accounting is then
+  /// unspecified.
   void stop();
 
   /// Unblock `count` kPause requests (test/bench gating).
@@ -158,10 +165,17 @@ class InventoryService {
   CompletionSink sink_;
   MpmcRingQueue<Request> queue_;
   /// Credits mirror queue occupancy: one release per accepted request, plus
-  /// one shutdown credit per worker from stop(). A worker whose pop comes
-  /// up empty has necessarily consumed a shutdown credit and exits.
+  /// one shutdown credit per worker from stop(). An empty pop only means
+  /// "shutdown credit" once stopping_ is set; before that it can be a
+  /// producer mid-publish, and the credit-holding worker retries the pop.
   std::counting_semaphore<> ready_{0};
   std::counting_semaphore<> pause_gate_{0};
+  /// Pause bookkeeping so stop() can unblock the gate: accepted kPause
+  /// requests minus gate acquisitions that completed = pauses still parked
+  /// on (or queued ahead of) the gate. stop() releases that many credits
+  /// before joining, so an unreleased pause can never hang shutdown.
+  std::atomic<std::uint64_t> pause_submitted_{0};
+  std::atomic<std::uint64_t> pause_passed_{0};
   std::vector<Worker> workers_;
 
   std::atomic<bool> stopping_{false};

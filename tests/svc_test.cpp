@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <semaphore>
 #include <thread>
 #include <vector>
 
@@ -127,6 +129,64 @@ TEST(MpmcQueueTest, ExactlyOnceUnderProducerConsumerContention) {
   }
   std::size_t drained = 0;
   EXPECT_FALSE(queue.try_pop(drained)) << "ring must end empty";
+}
+
+TEST(MpmcQueueTest, CreditHolderRetriesTransientEmptyPop) {
+  // The service pairs the ring with a counting semaphore: one credit per
+  // push. Under concurrent producers a credit can land BEFORE the FIFO head
+  // is published (producer A preempted between claiming its slot and
+  // storing its seq while producer B completes a later push), so a consumer
+  // holding a credit can see try_pop fail transiently. The consumer
+  // contract is: retry until the in-flight element lands; only exit on
+  // empty once the stop flag says no element can be in flight. A consumer
+  // that instead treated the first empty pop as "done" would strand
+  // elements here and this test would time out / fail the count.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 20000;
+  constexpr std::size_t kTotal = kProducers * kPerProducer;
+
+  MpmcRingQueue<std::size_t> queue(8);  // tiny: maximize claim/publish races
+  std::counting_semaphore<> credits{0};
+  std::atomic<bool> stopping{false};
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push(i)) std::this_thread::yield();
+        credits.release();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        credits.acquire();
+        std::size_t value = 0;
+        while (!queue.try_pop(value)) {
+          if (stopping.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) threads[p].join();
+  // Every credit is now released; consumers must drain every element
+  // without any shutdown help.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (consumed.load() < kTotal &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(consumed.load(), kTotal)
+      << "credit holder gave up on a transiently-empty pop";
+  stopping.store(true, std::memory_order_release);
+  credits.release(static_cast<std::ptrdiff_t>(kConsumers));
+  for (std::size_t c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
 }
 
 // ------------------------------------------------------------- buffer pool
@@ -358,6 +418,73 @@ TEST(InventoryServiceTest, BoundedQueueShedsWhenFull) {
   service.stop();
   EXPECT_EQ(service.accepted(), 3u);  // pause + 2 decodes
   EXPECT_EQ(service.completed(), 3u) << "shutdown must drain the backlog";
+}
+
+TEST(InventoryServiceTest, ConcurrentProducersNeverStrandRequests) {
+  // submit() is MT-safe for producers. Hammer a tiny ring from several
+  // threads so producers constantly race each other's claim/publish window,
+  // then require every accepted request to COMPLETE before stop() is
+  // called: a worker that mistook a transiently-empty pop for a shutdown
+  // credit would exit mid-run and strand an accepted request until stop(),
+  // which this wait would catch as a timeout.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 150;
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_depth = 16;  // small: keep workers racing the publish window
+
+  std::atomic<std::size_t> sink_calls{0};
+  InventoryService service(
+      config, [&](const Response&) { sink_calls.fetch_add(1); });
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t id = p * kPerProducer + i;
+        if (service.submit(decode_request(id, id, 1))) {
+          accepted.fetch_add(1);
+        }
+        // No yield: shed freely, maximize producer-producer contention.
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (service.completed() < accepted.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service.completed(), accepted.load())
+      << "request stranded before stop(): a worker exited mid-run";
+  service.stop();
+  EXPECT_EQ(service.completed(), accepted.load());
+  EXPECT_EQ(sink_calls.load(), accepted.load());
+  EXPECT_EQ(service.accepted(), accepted.load());
+}
+
+TEST(InventoryServiceTest, StopUnblocksOutstandingPauses) {
+  // Nothing obliges a caller to balance every kPause with release_pause()
+  // before stop(): shutdown force-releases the gate for the pause parked on
+  // a worker AND the pause still queued behind it, or this test would hang
+  // in join / the inline drain.
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_depth = 8;
+
+  InventoryService service(config, nullptr);
+  Request pause;
+  pause.kind = RequestKind::kPause;
+  ASSERT_TRUE(service.submit(pause));  // parks the only worker on the gate
+  while (service.inflight() == 0) std::this_thread::yield();
+  ASSERT_TRUE(service.submit(pause));  // queued, never released by us
+
+  service.stop();  // must not deadlock
+  EXPECT_EQ(service.completed(), 2u);
+  EXPECT_EQ(service.inflight(), 0u);
 }
 
 TEST(InventoryServiceTest, GracefulShutdownDrainsBacklog) {
