@@ -1,6 +1,7 @@
 #include "ivnet/common/json.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,35 @@ double json_find_number(std::string_view doc, std::string_view key,
   char* end = nullptr;
   const double value = std::strtod(buf, &end);
   return end == buf ? fallback : value;
+}
+
+std::string json_find_string(std::string_view doc, std::string_view key,
+                             std::string_view fallback) {
+  const std::string needle = '"' + std::string(key) + "\":";
+  const std::size_t pos = doc.find(needle);
+  if (pos == std::string_view::npos) return std::string(fallback);
+  std::size_t i = pos + needle.size();
+  while (i < doc.size() && doc[i] == ' ') ++i;
+  if (i >= doc.size() || doc[i] != '"') return std::string(fallback);
+  ++i;
+  std::string out;
+  while (i < doc.size() && doc[i] != '"') {
+    char c = doc[i++];
+    if (c == '\\' && i < doc.size()) {
+      const char esc = doc[i++];
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        default: c = esc; break;  // \" \\ \/ and anything unknown: literal
+      }
+    }
+    out += c;
+  }
+  if (i >= doc.size()) return std::string(fallback);  // unterminated string
+  return out;
 }
 
 void JsonWriter::comma_if_needed() {
@@ -129,9 +159,11 @@ JsonWriter& JsonWriter::value(const char* text) {
 JsonWriter& JsonWriter::value(double number) {
   comma_if_needed();
   if (std::isfinite(number)) {
+    // Shortest round-trip form via to_chars: locale- and libc-independent,
+    // unlike printf %g, so snapshots compare byte-equal across platforms.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.10g", number);
-    out_ += buf;
+    const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+    out_.append(buf, res.ptr);
   } else {
     out_ += "null";  // JSON has no inf/nan
   }

@@ -19,6 +19,13 @@ std::string json_escape(std::string_view text);
 double json_find_number(std::string_view doc, std::string_view key,
                         double fallback);
 
+/// Flat-field scanner for string values: the content of the first
+/// `"key":"..."` in `doc` with basic escapes (\\, \", \n, \t, ...) undone,
+/// or `fallback` when the key is absent or not followed by a string. Same
+/// contract as json_find_number: keys must be unique in `doc`.
+std::string json_find_string(std::string_view doc, std::string_view key,
+                             std::string_view fallback);
+
 /// Streaming JSON writer with explicit begin/end nesting.
 ///
 ///   JsonWriter w;

@@ -30,8 +30,12 @@ struct Sink {
   Tracer* tracer = nullptr;
 };
 
-/// Install the global sink (either pointer may be null). Not synchronized
-/// with in-flight hook calls — install before the instrumented work starts.
+/// Install the global sink (either pointer may be null). Safe to call while
+/// instrumented work is running: the pointers are published with a release
+/// store and every hook reads them with an acquire load, so a hook that
+/// observes the new sink also observes the fully-constructed registry and
+/// tracer behind it. Hooks racing the install see either the old sink or
+/// the new one, never a half-built object.
 void install(Sink sink);
 
 /// Remove the sink: every hook becomes a no-op again.

@@ -24,7 +24,8 @@ namespace {
 
 std::string format_param(double value) {
   JsonWriter w;
-  w.value(value);  // the writer's %.10g — same formatter as every result
+  w.value(value);  // the writer's shortest-round-trip format — same
+                   // formatter as every result
   return w.str();
 }
 

@@ -44,7 +44,8 @@ struct CellSpec {
   explicit CellSpec(std::string kind_) : kind(std::move(kind_)) {}
 
   /// Typed setters with fixed value formatting (doubles via the JSON
-  /// writer's %.10g, integers via decimal) — the hash input never drifts.
+  /// writer's shortest-round-trip std::to_chars, integers via decimal) —
+  /// the hash input never drifts.
   CellSpec& set(const std::string& key, const std::string& value);
   CellSpec& set(const std::string& key, const char* value);
   CellSpec& set(const std::string& key, double value);

@@ -10,27 +10,6 @@
 #include "ivnet/common/rng.hpp"
 
 namespace ivnet::svc {
-namespace {
-
-/// SplitMix64 finalizer: the per-response hash folded into the digest.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t response_hash(const Response& r) {
-  std::uint64_t h = mix64(r.id);
-  h = mix64(h ^ static_cast<std::uint64_t>(r.kind));
-  h = mix64(h ^ r.trials);
-  h = mix64(h ^ r.succeeded);
-  h = mix64(h ^ std::bit_cast<std::uint64_t>(r.sim_elapsed_s));
-  h = mix64(h ^ std::bit_cast<std::uint64_t>(r.plan_score));
-  return h;
-}
-
-}  // namespace
 
 std::vector<ScheduledRequest> generate_schedule(const LoadGenConfig& config) {
   std::vector<ScheduledRequest> schedule;
@@ -54,6 +33,8 @@ std::vector<ScheduledRequest> generate_schedule(const LoadGenConfig& config) {
     ScheduledRequest scheduled;
     scheduled.t_s = t_s;
     scheduled.state = state;
+    // Sim-clock telemetry attributes the request to its offered time.
+    scheduled.request.offered_t_s = t_s;
     scheduled.request.kind = load.kind;
     scheduled.request.trials = std::max<std::uint32_t>(1, load.trials);
     scheduled.request.antennas = std::max<std::uint16_t>(1, load.antennas);
@@ -115,16 +96,33 @@ std::vector<std::size_t> state_occupancy(
   return counts;
 }
 
+LatencyCollector::LatencyCollector(bool keep_timeline)
+    : keep_timeline_(keep_timeline),
+      epoch_(std::chrono::steady_clock::now()) {}
+
 void LatencyCollector::record(const Response& response) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_wait_s_.push_back(response.queue_wait_s);
     service_s_.push_back(response.service_s);
+    if (keep_timeline_) {
+      TimelinePoint point;
+      point.t_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+      point.latency_s = response.queue_wait_s + response.service_s;
+      timeline_.push_back(point);
+    }
     succeeded_sessions_ += response.succeeded;
     sim_elapsed_total_s_ += response.sim_elapsed_s;
     digest_ ^= response_hash(response);
   }
   completed_cv_.notify_all();
+}
+
+std::vector<TimelinePoint> LatencyCollector::timeline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeline_;
 }
 
 void LatencyCollector::wait_for_completed(std::size_t n) {

@@ -23,6 +23,7 @@
 //                     workers; its throughput is the saturation estimate.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -81,11 +82,24 @@ std::string schedule_json(const std::vector<ScheduledRequest>& schedule);
 std::vector<std::size_t> state_occupancy(
     const std::vector<ScheduledRequest>& schedule, std::size_t num_states);
 
+/// One completion on the collector's wall clock: when it finished (seconds
+/// since collector construction) and its end-to-end latency. The raw
+/// material for warmup-vs-steady-state plots.
+struct TimelinePoint {
+  double t_s = 0.0;
+  double latency_s = 0.0;
+};
+
 /// Thread-safe completion sink: collects per-request latency samples and an
 /// order-independent response digest. Install via sink() at service
 /// construction; read the accessors after service.stop().
 class LatencyCollector {
  public:
+  /// `keep_timeline` retains per-request completion wall timestamps
+  /// (timeline()) in addition to the latency samples — off by default so
+  /// the quantile-only paths pay nothing extra.
+  explicit LatencyCollector(bool keep_timeline = false);
+
   void record(const Response& response);
 
   /// A CompletionSink forwarding to record(). The collector must outlive
@@ -112,13 +126,19 @@ class LatencyCollector {
   double latency_quantile(double q) const;
   double sim_elapsed_total_s() const;
 
+  /// Completion order; empty unless constructed with keep_timeline.
+  std::vector<TimelinePoint> timeline() const;
+
  private:
   static double quantile_of(std::vector<double> samples, double q);
 
+  const bool keep_timeline_;
+  const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::condition_variable completed_cv_;
   std::vector<double> queue_wait_s_;
   std::vector<double> service_s_;
+  std::vector<TimelinePoint> timeline_;
   std::uint64_t succeeded_sessions_ = 0;
   std::uint64_t digest_ = 0;
   double sim_elapsed_total_s_ = 0.0;

@@ -1,11 +1,14 @@
 #include "ivnet/svc/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "ivnet/cib/optimizer.hpp"
 #include "ivnet/common/parallel.hpp"
+#include "ivnet/obs/flight_recorder.hpp"
 #include "ivnet/obs/obs.hpp"
+#include "ivnet/obs/telemetry.hpp"
 #include "ivnet/sim/batch_pipeline.hpp"
 
 namespace ivnet::svc {
@@ -14,6 +17,14 @@ namespace {
 double seconds_between(std::chrono::steady_clock::time_point t0,
                        std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// SplitMix64 finalizer — the mixing step of response_hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 const char* kind_counter(RequestKind kind) {
@@ -32,6 +43,16 @@ const char* kind_counter(RequestKind kind) {
 
 }  // namespace
 
+std::uint64_t response_hash(const Response& response) {
+  std::uint64_t h = mix64(response.id);
+  h = mix64(h ^ static_cast<std::uint64_t>(response.kind));
+  h = mix64(h ^ response.trials);
+  h = mix64(h ^ response.succeeded);
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(response.sim_elapsed_s));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(response.plan_score));
+  return h;
+}
+
 ImpairedLinkConfig link_config_for(const ServiceConfig& config,
                                    const Request& request) {
   ImpairedLinkConfig link = config.link;
@@ -48,6 +69,112 @@ ImpairedLinkConfig link_config_for(const ServiceConfig& config,
   return link;
 }
 
+Response execute_request(const ServiceConfig& config, const Request& request,
+                         DspWorkspace& workspace, std::vector<double> storage,
+                         StageTimings* stages, const FlightHook* hook) {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  const auto start = std::chrono::steady_clock::now();
+  obs::FlightRecorder* flight =
+      (hook != nullptr) ? hook->flight : nullptr;
+  // Flight timestamps advance with wall time from the hook's base, so the
+  // intra-request spans are real durations on either telemetry clock.
+  const auto flight_now = [&] {
+    return hook->t0_s +
+           seconds_between(start, std::chrono::steady_clock::now());
+  };
+
+  switch (request.kind) {
+    case RequestKind::kPause:
+      // The pause gate is service state; standalone execution is a no-op.
+      return response;
+
+    case RequestKind::kPlan: {
+      // Small re-plan: the Eq. 10 search at request scale. Deterministic in
+      // (seed, antennas); the optimizer's internal parallel_for must be
+      // inline in the calling thread (service workers hold
+      // ScopedInlineParallel; replay callers set it up themselves).
+      if (flight != nullptr) {
+        flight->record(hook->ring, obs::FlightEvent::kStageEnter,
+                       flight_now(), request.id, 0);
+      }
+      OptimizerConfig opt_config;
+      opt_config.num_antennas =
+          std::clamp<std::size_t>(request.antennas, 2, 12);
+      opt_config.mc_trials = 8;
+      opt_config.iterations = 16;
+      opt_config.restarts = 1;
+      FrequencyOptimizer optimizer(opt_config);
+      Rng rng(request.seed);
+      const OptimizerResult result = optimizer.optimize(rng);
+      response.succeeded = 1;
+      response.plan_score = result.score;
+      const double span_s =
+          seconds_between(start, std::chrono::steady_clock::now());
+      if (stages != nullptr) stages->add(span_s);
+      if (flight != nullptr) {
+        flight->record(hook->ring, obs::FlightEvent::kStageExit, flight_now(),
+                       request.id, 0);
+      }
+      return response;
+    }
+
+    case RequestKind::kDecode:
+    case RequestKind::kInventory: {
+      const ImpairedLinkConfig link = link_config_for(config, request);
+      const std::uint32_t trials = std::max<std::uint32_t>(1, request.trials);
+      response.trials = trials;
+      response.per_trial_elapsed_s = std::move(storage);
+      response.per_trial_elapsed_s.resize(trials);
+      const auto sink = [&](std::size_t t, const SessionOutcome& outcome) {
+        // Sink runs in ascending trial order: the summed air time folds
+        // deterministically.
+        response.succeeded += outcome.success;
+        response.sim_elapsed_s += outcome.elapsed_s;
+        response.per_trial_elapsed_s[t] = outcome.elapsed_s;
+        if (flight != nullptr) {
+          if (outcome.retries > 0) {
+            flight->record(hook->ring, obs::FlightEvent::kRetry, flight_now(),
+                           request.id,
+                           static_cast<std::uint64_t>(outcome.retries));
+          }
+          if (!outcome.powered) {
+            flight->record(hook->ring, obs::FlightEvent::kBrownout,
+                           flight_now(), request.id, t);
+          }
+        }
+      };
+      // Trial t seeds from Rng::stream(seed, t) regardless of the chunking,
+      // so the batch knob changes lane width, never outcomes.
+      const std::size_t batch =
+          resolve_batch_size(BatchConfig{config.batch_size});
+      std::size_t stage = 0;
+      for (std::size_t lo = 0; lo < trials; lo += batch, ++stage) {
+        const auto chunk_start = std::chrono::steady_clock::now();
+        if (flight != nullptr) {
+          flight->record(hook->ring, obs::FlightEvent::kStageEnter,
+                         flight_now(), request.id, stage);
+        }
+        run_session_batch(link, request.seed, /*stream_stride=*/1,
+                          /*stream_offset=*/0, lo,
+                          std::min<std::size_t>(trials, lo + batch), workspace,
+                          sink);
+        if (stages != nullptr) {
+          stages->add(seconds_between(chunk_start,
+                                      std::chrono::steady_clock::now()));
+        }
+        if (flight != nullptr) {
+          flight->record(hook->ring, obs::FlightEvent::kStageExit,
+                         flight_now(), request.id, stage);
+        }
+      }
+      return response;
+    }
+  }
+  return response;
+}
+
 InventoryService::InventoryService(ServiceConfig config, CompletionSink sink)
     : config_(config),
       sink_(std::move(sink)),
@@ -62,6 +189,13 @@ InventoryService::InventoryService(ServiceConfig config, CompletionSink sink)
 
 InventoryService::~InventoryService() { stop(); }
 
+double InventoryService::telemetry_now(const Request& request) const {
+  if (config_.telemetry_clock == TelemetryClock::kSim) {
+    return request.offered_t_s;
+  }
+  return seconds_between(epoch_, std::chrono::steady_clock::now());
+}
+
 bool InventoryService::submit(Request request) {
   if (stopping_.load(std::memory_order_acquire)) {
     obs::count("svc.rejected.stopped");
@@ -71,6 +205,13 @@ bool InventoryService::submit(Request request) {
   if (!queue_.try_push(request)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.rejected");
+    if (config_.telemetry != nullptr || config_.flight != nullptr) {
+      const double t = telemetry_now(request);
+      if (config_.telemetry != nullptr) config_.telemetry->on_shed(t);
+      if (config_.flight != nullptr) {
+        config_.flight->record(0, obs::FlightEvent::kShed, t, request.id);
+      }
+    }
     return false;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -78,6 +219,13 @@ bool InventoryService::submit(Request request) {
     pause_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   obs::count("svc.accepted");
+  if (config_.telemetry != nullptr || config_.flight != nullptr) {
+    const double t = telemetry_now(request);
+    if (config_.telemetry != nullptr) config_.telemetry->on_accept(t);
+    if (config_.flight != nullptr) {
+      config_.flight->record(0, obs::FlightEvent::kEnqueue, t, request.id);
+    }
+  }
   ready_.release();
   return true;
 }
@@ -108,7 +256,9 @@ void InventoryService::stop() {
   {
     ScopedInlineParallel inline_parallel;
     Request request;
-    while (queue_.try_pop(request)) handle(request, workers_[0].workspace);
+    while (queue_.try_pop(request)) {
+      handle(request, workers_[0].workspace, /*ring=*/1);
+    }
   }
   std::size_t workspace_high_water = 0;
   for (const Worker& worker : workers_) {
@@ -147,11 +297,12 @@ void InventoryService::worker_loop(std::size_t index) {
       if (stopping_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
     }
-    handle(request, workspace);
+    handle(request, workspace, /*ring=*/1 + index);
   }
 }
 
-void InventoryService::handle(Request request, DspWorkspace& workspace) {
+void InventoryService::handle(Request request, DspWorkspace& workspace,
+                              std::size_t ring) {
   const auto picked_at = std::chrono::steady_clock::now();
   const double queue_wait_s = seconds_between(request.accepted_at, picked_at);
   const std::size_t inflight_now =
@@ -163,8 +314,31 @@ void InventoryService::handle(Request request, DspWorkspace& workspace) {
   }
   obs::gauge_set("svc.inflight", static_cast<double>(inflight_now));
   obs::observe("svc.queue_wait", queue_wait_s);
+  if (config_.flight != nullptr) {
+    config_.flight->record(ring, obs::FlightEvent::kDequeue,
+                           telemetry_now(request), request.id);
+  }
 
-  Response response = execute(request, workspace);
+  Response response;
+  StageTimings stages;
+  if (request.kind == RequestKind::kPause) {
+    response.id = request.id;
+    response.kind = request.kind;
+    pause_gate_.acquire();
+    pause_passed_.fetch_add(1, std::memory_order_release);
+  } else {
+    // Decode/inventory payload buffers come from the service pool; the
+    // executor resizes to the trial count.
+    std::vector<double> storage;
+    if (request.kind == RequestKind::kDecode ||
+        request.kind == RequestKind::kInventory) {
+      storage = pool_.acquire(std::max<std::uint32_t>(1, request.trials));
+    }
+    const FlightHook hook{config_.flight, ring, telemetry_now(request)};
+    response = execute_request(config_, request, workspace,
+                               std::move(storage), &stages,
+                               config_.flight != nullptr ? &hook : nullptr);
+  }
   response.queue_wait_s = queue_wait_s;
   response.service_s =
       seconds_between(picked_at, std::chrono::steady_clock::now());
@@ -178,6 +352,52 @@ void InventoryService::handle(Request request, DspWorkspace& workspace) {
     obs::count("svc.sessions", request.trials);
   }
 
+  if (config_.telemetry != nullptr) {
+    const double t = telemetry_now(request);
+    if (request.kind == RequestKind::kPause) {
+      // A pause is a gate, not work: count the completion for throughput
+      // windows but never offer it as an exemplar (replaying one would
+      // block on a gate nobody releases).
+      config_.telemetry->completed().add(t);
+    } else {
+      obs::Exemplar exemplar;
+      exemplar.kind = static_cast<std::uint32_t>(request.kind);
+      exemplar.trials = request.trials;
+      exemplar.antennas = request.antennas;
+      exemplar.id = request.id;
+      exemplar.seed = request.seed;
+      exemplar.snr_db = request.snr_db;
+      exemplar.medium_loss_db = request.medium_loss_db;
+      exemplar.t_s = t;
+      exemplar.queue_wait_s = queue_wait_s;
+      exemplar.service_s = response.service_s;
+      exemplar.stages = std::min<std::uint32_t>(stages.count,
+                                                obs::Exemplar::kMaxStages);
+      for (std::uint32_t s = 0; s < exemplar.stages; ++s) {
+        exemplar.stage_s[s] = stages.stage_s[s];
+      }
+      exemplar.response_hash = response_hash(response);
+      config_.telemetry->on_complete(exemplar);
+    }
+    // Threshold detectors over the trailing 1 s window; latch edges so one
+    // overload episode records one anomaly event, not one per completion.
+    const obs::TelemetryAnomaly anomaly = config_.telemetry->check_anomalies(t);
+    const bool latched = anomaly_latched_.load(std::memory_order_relaxed);
+    if (anomaly.any() && !latched) {
+      anomaly_latched_.store(true, std::memory_order_relaxed);
+      anomalies_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("svc.anomalies");
+      if (config_.flight != nullptr) {
+        const std::uint64_t detail = (anomaly.shed_storm ? 1u : 0u) |
+                                     (anomaly.queue_saturated ? 2u : 0u);
+        config_.flight->record(ring, obs::FlightEvent::kAnomaly, t,
+                               request.id, detail);
+      }
+    } else if (!anomaly.any() && latched) {
+      anomaly_latched_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   // Retire BEFORE the sink runs: a closed-loop submitter that wakes on the
   // sink's completion signal must see this request already out of flight,
   // or its concurrency window would transiently overshoot by one.
@@ -188,66 +408,6 @@ void InventoryService::handle(Request request, DspWorkspace& workspace) {
 
   if (sink_) sink_(response);
   pool_.release(std::move(response.per_trial_elapsed_s));
-}
-
-Response InventoryService::execute(const Request& request,
-                                   DspWorkspace& workspace) {
-  Response response;
-  response.id = request.id;
-  response.kind = request.kind;
-
-  switch (request.kind) {
-    case RequestKind::kPause:
-      pause_gate_.acquire();
-      pause_passed_.fetch_add(1, std::memory_order_release);
-      return response;
-
-    case RequestKind::kPlan: {
-      // Small re-plan: the Eq. 10 search at request scale. Deterministic in
-      // (seed, antennas); the optimizer's internal parallel_for runs inline
-      // on this worker (see worker_loop).
-      OptimizerConfig opt_config;
-      opt_config.num_antennas =
-          std::clamp<std::size_t>(request.antennas, 2, 12);
-      opt_config.mc_trials = 8;
-      opt_config.iterations = 16;
-      opt_config.restarts = 1;
-      FrequencyOptimizer optimizer(opt_config);
-      Rng rng(request.seed);
-      const OptimizerResult result = optimizer.optimize(rng);
-      response.succeeded = 1;
-      response.plan_score = result.score;
-      return response;
-    }
-
-    case RequestKind::kDecode:
-    case RequestKind::kInventory: {
-      const ImpairedLinkConfig link = link_config_for(config_, request);
-      const std::uint32_t trials = std::max<std::uint32_t>(1, request.trials);
-      response.trials = trials;
-      response.per_trial_elapsed_s = pool_.acquire(trials);
-      const auto sink = [&response](std::size_t t,
-                                    const SessionOutcome& outcome) {
-        // Sink runs in ascending trial order: the summed air time folds
-        // deterministically.
-        response.succeeded += outcome.success;
-        response.sim_elapsed_s += outcome.elapsed_s;
-        response.per_trial_elapsed_s[t] = outcome.elapsed_s;
-      };
-      // Trial t seeds from Rng::stream(seed, t) regardless of the chunking,
-      // so the batch knob changes lane width, never outcomes.
-      const std::size_t batch =
-          resolve_batch_size(BatchConfig{config_.batch_size});
-      for (std::size_t lo = 0; lo < trials; lo += batch) {
-        run_session_batch(link, request.seed, /*stream_stride=*/1,
-                          /*stream_offset=*/0, lo,
-                          std::min<std::size_t>(trials, lo + batch), workspace,
-                          sink);
-      }
-      return response;
-    }
-  }
-  return response;
 }
 
 }  // namespace ivnet::svc

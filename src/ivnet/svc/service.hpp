@@ -59,6 +59,11 @@
 #include "ivnet/svc/buffer_pool.hpp"
 #include "ivnet/svc/mpmc_queue.hpp"
 
+namespace ivnet::obs {
+class ServiceTelemetry;
+class FlightRecorder;
+}  // namespace ivnet::obs
+
 namespace ivnet::svc {
 
 enum class RequestKind : std::uint8_t {
@@ -77,6 +82,11 @@ struct Request {
   std::uint64_t seed = 0;            ///< Rng::stream base for the trials
   double snr_db = 20.0;
   double medium_loss_db = 0.0;
+  /// Offered (schedule) time of the arrival in seconds — the sim-clock
+  /// timestamp telemetry attributes this request to when the service runs
+  /// with TelemetryClock::kSim. Stamped by generate_schedule(); ignored in
+  /// wall-clock mode.
+  double offered_t_s = 0.0;
   /// Stamped by submit(); queue wait is measured from this instant.
   std::chrono::steady_clock::time_point accepted_at{};
 };
@@ -97,6 +107,14 @@ struct Response {
   std::vector<double> per_trial_elapsed_s;
 };
 
+/// Which clock stamps telemetry ingests (windows, exemplars, flight
+/// events). kWall uses wall seconds since service construction — the live
+/// operations view. kSim uses each request's offered_t_s — with a
+/// materialized schedule, window counts and exemplar identities become
+/// pure functions of the schedule (reproducible run-to-run); latency
+/// VALUES inside the windows are wall measurements either way.
+enum class TelemetryClock : std::uint8_t { kWall = 0, kSim = 1 };
+
 struct ServiceConfig {
   std::size_t workers = 4;
   std::size_t queue_depth = 256;  ///< rounded up to a power of two
@@ -104,12 +122,69 @@ struct ServiceConfig {
   /// kind-specific recovery come from each request (link_config_for).
   ImpairedLinkConfig link;
   std::size_t batch_size = 0;  ///< 0 defers to default_batch_size()
+  /// Optional live-telemetry bundle (obs/telemetry.hpp). Not owned; must
+  /// outlive the service. Null = zero telemetry work on the hot path.
+  obs::ServiceTelemetry* telemetry = nullptr;
+  /// Optional flight recorder (obs/flight_recorder.hpp). Not owned; ring 0
+  /// is the submit path, ring 1 + w is worker w — size it with
+  /// workers + 1 rings. Null = no events recorded.
+  obs::FlightRecorder* flight = nullptr;
+  TelemetryClock telemetry_clock = TelemetryClock::kWall;
 };
 
 /// The exact per-request link config a worker executes — exposed so tests
 /// can replay a request against the scalar oracle and memcmp the outcome.
 ImpairedLinkConfig link_config_for(const ServiceConfig& config,
                                    const Request& request);
+
+/// Order-independent per-response fingerprint: a SplitMix64 chain over
+/// (id, kind, trials, succeeded, sim_elapsed bits, plan_score bits) — the
+/// payload fields that are pure functions of (request, seed). Wall timings
+/// are excluded. XORing these across responses gives the load-harness
+/// digest; a single hash is the reproducibility anchor `ivnet
+/// replay-exemplar` checks.
+std::uint64_t response_hash(const Response& response);
+
+/// Wall spans of the execution stages of one request, captured by
+/// execute_request: kPlan records one stage (the optimize call);
+/// decode/inventory record one per batch chunk, chunks beyond kMax folded
+/// into the last.
+struct StageTimings {
+  static constexpr std::size_t kMax = 4;
+  double stage_s[kMax] = {0.0, 0.0, 0.0, 0.0};
+  std::uint32_t count = 0;
+
+  void add(double s) {
+    if (count < kMax) {
+      stage_s[count++] = s;
+    } else {
+      stage_s[kMax - 1] += s;
+    }
+  }
+};
+
+/// Flight-recorder context for execute_request: when `flight` is set, the
+/// executor emits stage-enter/exit spans per chunk and retry/brownout
+/// instants per trial onto `ring`, timestamped t0_s + wall-elapsed.
+struct FlightHook {
+  obs::FlightRecorder* flight = nullptr;
+  std::size_t ring = 0;
+  double t0_s = 0.0;  ///< telemetry-clock time at execution start
+};
+
+/// Execute one request synchronously — the exact code path a service
+/// worker runs, exposed so `ivnet replay-exemplar` and tests re-execute a
+/// captured request deterministically. The response is a pure function of
+/// (config.link, config.batch_size, request): worker count, queue depth,
+/// and arrival order never change response bytes. kPause is a no-op here
+/// (the gate is service state). `storage` seeds per_trial_elapsed_s
+/// (pass a pooled buffer to avoid the allocation); wall timings in the
+/// response are left zero — the caller owns queue_wait_s/service_s.
+Response execute_request(const ServiceConfig& config, const Request& request,
+                         DspWorkspace& workspace,
+                         std::vector<double> storage = {},
+                         StageTimings* stages = nullptr,
+                         const FlightHook* hook = nullptr);
 
 class InventoryService {
  public:
@@ -146,10 +221,22 @@ class InventoryService {
   std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
   std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
   std::size_t inflight_peak() const { return inflight_peak_.load(std::memory_order_relaxed); }
+  /// Distinct anomaly episodes latched by the rolling-window detectors
+  /// (config.telemetry required). An episode is one transition from calm
+  /// to anomalous; it ends when a completion observes a calm window again.
+  std::uint64_t anomalies() const { return anomalies_.load(std::memory_order_relaxed); }
   std::size_t queue_capacity() const { return queue_.capacity(); }
   std::size_t worker_count() const { return workers_.size(); }
   const BufferPool& buffer_pool() const { return pool_; }
   const ServiceConfig& config() const { return config_; }
+  /// Seconds since construction on the wall telemetry clock — the `now_s`
+  /// an external sampler should pass to the telemetry bundle's queries so
+  /// its windows line up with the service's wall-mode ingest timestamps.
+  double wall_time_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
 
  private:
   struct Worker {
@@ -158,8 +245,12 @@ class InventoryService {
   };
 
   void worker_loop(std::size_t index);
-  void handle(Request request, DspWorkspace& workspace);
-  Response execute(const Request& request, DspWorkspace& workspace);
+  /// `ring` is the flight-recorder ring (1 + worker index; stop()'s inline
+  /// drain reuses worker 0's).
+  void handle(Request request, DspWorkspace& workspace, std::size_t ring);
+  /// Telemetry-clock timestamp for `request` right now: wall seconds since
+  /// construction, or the request's offered_t_s in sim mode.
+  double telemetry_now(const Request& request) const;
 
   ServiceConfig config_;
   CompletionSink sink_;
@@ -183,6 +274,12 @@ class InventoryService {
   bool stopped_ = false;  // guarded by stop_mutex_
 
   BufferPool pool_;
+  /// Wall epoch for TelemetryClock::kWall timestamps.
+  const std::chrono::steady_clock::time_point epoch_{
+      std::chrono::steady_clock::now()};
+  /// True while the anomaly detectors are latched; edges count episodes.
+  std::atomic<bool> anomaly_latched_{false};
+  std::atomic<std::uint64_t> anomalies_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};

@@ -1,6 +1,9 @@
 // Tests for ivnet/common/json: escaping and writer structure.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+
 #include "ivnet/common/json.hpp"
 
 namespace ivnet {
@@ -108,6 +111,60 @@ TEST(JsonWriter, IncompleteIsReported) {
   JsonWriter w;
   w.begin_object();
   EXPECT_FALSE(w.complete());
+}
+
+// The writer formats doubles with std::to_chars (shortest round-trip), so
+// the bytes are a function of the value alone — no locale, no libc printf
+// quirks. These pin the corners: denormals, huge magnitudes, negative zero,
+// and the fixed-vs-scientific tie rule.
+TEST(JsonWriter, DoubleFormattingIsByteStableAtTheExtremes) {
+  JsonWriter w;
+  w.begin_array()
+      .value(5e-324)  // smallest denormal
+      .value(1.7976931348623157e308)  // largest finite
+      .value(-0.0)
+      .value(1e-5)
+      .value(600000.0)  // scientific strictly shorter -> scientific
+      .value(10000.0)   // tie -> fixed preferred
+      .end_array();
+  EXPECT_EQ(w.str(),
+            "[5e-324,1.7976931348623157e+308,-0,1e-05,6e+05,10000]");
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTrips) {
+  // Shortest-round-trip means strtod(output) == input bit-for-bit.
+  const double values[] = {5e-324, 1.7976931348623157e308, -0.0, 0.1,
+                           1.0 / 3.0, 2.5e-3, 6.02214076e23};
+  for (const double v : values) {
+    JsonWriter w;
+    w.begin_array().value(v).end_array();
+    const std::string doc = w.str();
+    const double parsed = std::strtod(doc.c_str() + 1, nullptr);
+    EXPECT_EQ(std::signbit(parsed), std::signbit(v)) << doc;
+    EXPECT_EQ(parsed, v) << doc;
+  }
+}
+
+TEST(JsonFindString, PullsStringsBackOutOfWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "decode");
+  w.field("seed", "18446744073709551615");  // u64 max as a decimal string
+  w.field("note", "line1\nline2\t\"quoted\"");
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_EQ(json_find_string(doc, "name", ""), "decode");
+  EXPECT_EQ(json_find_string(doc, "seed", ""), "18446744073709551615");
+  EXPECT_EQ(json_find_string(doc, "note", ""), "line1\nline2\t\"quoted\"");
+}
+
+TEST(JsonFindString, FallbackWhenAbsentMistypedOrUnterminated) {
+  EXPECT_EQ(json_find_string("{\"a\":\"x\"}", "b", "dflt"), "dflt");
+  EXPECT_EQ(json_find_string("{\"a\":42}", "a", "dflt"), "dflt");
+  EXPECT_EQ(json_find_string("{\"a\":\"unterminated", "a", "dflt"), "dflt");
+  EXPECT_EQ(json_find_string("", "a", "dflt"), "dflt");
+  // Space between colon and the opening quote is fine.
+  EXPECT_EQ(json_find_string("{\"a\":  \"ok\"}", "a", ""), "ok");
 }
 
 TEST(JsonFindNumber, PullsFieldsBackOutOfWriterOutput) {

@@ -17,6 +17,8 @@
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/common/rng.hpp"
 #include "ivnet/impair/link_session.hpp"
+#include "ivnet/obs/flight_recorder.hpp"
+#include "ivnet/obs/telemetry.hpp"
 #include "ivnet/signal/dsp_workspace.hpp"
 #include "ivnet/svc/buffer_pool.hpp"
 #include "ivnet/svc/mpmc_queue.hpp"
@@ -583,6 +585,67 @@ TEST(InventoryServiceTest, BatchSizeKnobDoesNotChangeResponses) {
   ASSERT_EQ(scalar.size(), 6u * 9u);
   EXPECT_EQ(digest_with_batch(4), scalar);
   EXPECT_EQ(digest_with_batch(32), scalar);
+}
+
+TEST(InventoryServiceTest, TelemetryObservesWithoutChangingResponses) {
+  // The observability stack must be a pure observer: attaching windows,
+  // exemplars, and the flight recorder cannot change a single response
+  // byte, and every captured exemplar must replay to its recorded hash
+  // through the same execute_request path the workers run.
+  constexpr std::size_t kRequests = 24;
+  const auto run = [&](obs::ServiceTelemetry* telemetry,
+                       obs::FlightRecorder* flight) {
+    ServiceConfig config;
+    config.workers = 2;
+    config.queue_depth = 64;
+    config.telemetry = telemetry;
+    config.flight = flight;
+    config.telemetry_clock = TelemetryClock::kSim;
+    CaptureSink capture;
+    InventoryService service(config, capture.sink());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      Request request = decode_request(i, 1000 + 17 * i);
+      request.offered_t_s = 0.1 * static_cast<double>(i);
+      EXPECT_TRUE(service.submit(request));
+    }
+    service.stop();
+    std::uint64_t digest = 0;
+    for (const auto& [id, response] : capture.by_id) {
+      digest ^= response_hash(response);
+    }
+    return digest;
+  };
+
+  const std::uint64_t bare = run(nullptr, nullptr);
+  obs::ServiceTelemetry telemetry;
+  obs::FlightRecorder flight(/*rings=*/3, /*slots_per_ring=*/256);
+  const std::uint64_t instrumented = run(&telemetry, &flight);
+  EXPECT_EQ(instrumented, bare);
+
+  // Sim clock: completions land in the epochs of their offered times.
+  EXPECT_EQ(telemetry.completed().total_over(60.0, 2.5), kRequests);
+  EXPECT_GT(telemetry.exemplars().size(), 0u);
+  // Every request leaves at least enqueue + dequeue in the rings.
+  EXPECT_GE(flight.total_events(), 2 * kRequests);
+
+  // Replay every exemplar through the worker's own code path.
+  ScopedInlineParallel inline_scope;
+  ServiceConfig replay_config;
+  DspWorkspace workspace;
+  for (const obs::Exemplar& e : telemetry.exemplars()) {
+    Request request;
+    request.kind = static_cast<RequestKind>(e.kind);
+    request.trials = e.trials;
+    request.antennas = static_cast<std::uint16_t>(e.antennas);
+    request.id = e.id;
+    request.seed = e.seed;
+    request.snr_db = e.snr_db;
+    request.medium_loss_db = e.medium_loss_db;
+    const Response response =
+        execute_request(replay_config, request, workspace);
+    EXPECT_EQ(response_hash(response), e.response_hash)
+        << "exemplar id " << e.id << " did not replay to its recorded hash";
+  }
 }
 
 }  // namespace

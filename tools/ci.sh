@@ -4,8 +4,12 @@
 # tests exercise 1/2/8-thread pools, so TSan sees real contention), a
 # Debug spot-check of the DSP input-validation, campaign, and service
 # suites (the other legs are NDEBUG builds), an inventory-service bench
-# (digest-identity gated) plus a bounded 10k-request soak through
-# `ivnet serve` that must shed nothing while unsaturated, a small
+# (digest-identity gated, telemetry overhead gated <= 3%) plus a bounded
+# 10k-request soak through `ivnet serve` that must shed nothing while
+# unsaturated — run with live telemetry attached: the time-series JSONL is
+# schema-checked, the flight-recorder dump is validated as Chrome trace
+# JSON, and every captured tail-latency exemplar must replay to its
+# recorded response hash — a small
 # traced sweep whose metrics/trace artifacts are archived and smoke-checked
 # as JSON, a campaign kill-and-resume determinism check (SIGKILL mid-run,
 # resume from the journal, byte-compare against an uninterrupted run across
@@ -79,9 +83,28 @@ echo "=== ci: service latency/saturation bench (non-gating timings) ==="
 # informational on shared hardware; the bench's response-digest identity
 # check (same request stream -> same response bytes at every pool width and
 # on a rerun) is a correctness gate, so its exit code fails the pipeline.
-if ! build-ci/bench/bench_service "$ARTIFACT_DIR/BENCH_service.json"; then
+if ! build-ci/bench/bench_service "$ARTIFACT_DIR/BENCH_service.json" \
+    --timeline; then
   echo "ci: service responses diverged across worker counts" >&2
   exit 1
+fi
+# Telemetry overhead gate: the full observability stack (rolling windows +
+# exemplar store + flight recorder) must cost <= 3% of saturation
+# throughput at the widest pool (interleaved best-of-3 inside the bench).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR/BENCH_service.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+oh = bench["telemetry_overhead"]
+print(f"ci: telemetry overhead {oh['overhead_pct']:.2f}% "
+      f"({oh['telemetry_off_rps']:.0f} -> {oh['telemetry_on_rps']:.0f} req/s "
+      f"at {oh['workers']} workers)")
+assert oh["overhead_pct"] <= 3.0, \
+    f"telemetry overhead {oh['overhead_pct']:.2f}% exceeds the 3% gate"
+timeline = bench["latency_timeline"]
+assert len(timeline) == 20 and sum(b["count"] for b in timeline) > 0, \
+    "latency timeline missing or empty"
+PY
 fi
 
 echo "=== ci: service soak (bounded, 10k requests, 8 workers) ==="
@@ -91,6 +114,9 @@ echo "=== ci: service soak (bounded, 10k requests, 8 workers) ==="
 # graceful-shutdown drain guarantee); either miss fails the pipeline.
 build-ci/tools/ivnet serve --workers 8 --queue-depth 4096 \
     --requests 10000 --rate 3000 --trials 1 --seed 41 --json \
+    --telemetry-out "$ARTIFACT_DIR/SOAK_series.jsonl" \
+    --exemplars-out "$ARTIFACT_DIR/SOAK_exemplars.jsonl" \
+    --flight-out "$ARTIFACT_DIR/SOAK_flight.json" \
     > "$ARTIFACT_DIR/SOAK_service.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$ARTIFACT_DIR/SOAK_service.json" <<'PY'
@@ -104,6 +130,41 @@ print(f"ci: soak {soak['completed']}/10000 completed, 0 rejected, "
       f"p99 wait {soak['queue_wait_p99_s']*1e3:.2f} ms, "
       f"digest {soak['digest']}")
 PY
+  # Time-series schema: every line is a standalone JSON record carrying the
+  # three trailing windows with the full stat set, counts consistent.
+  python3 - "$ARTIFACT_DIR/SOAK_series.jsonl" <<'PY'
+import json, sys
+required = {"window_s", "accepted", "completed", "shed", "throughput_rps",
+            "shed_rps", "queue_wait_p50_s", "queue_wait_p99_s",
+            "service_p50_s", "service_p99_s"}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "telemetry series is empty"
+total = 0
+for line in lines:
+    rec = json.loads(line)
+    assert rec["t_s"] >= 0, rec
+    windows = rec["windows"]
+    assert [w["window_s"] for w in windows] == [1, 10, 60], windows
+    for w in windows:
+        assert required <= set(w), sorted(required - set(w))
+        assert w["shed"] == 0, f"soak shed inside a window: {w}"
+    total = max(total, windows[2]["completed"])
+print(f"ci: telemetry series has {len(lines)} samples, "
+      f"peak 60s-window completions {total}")
+PY
+  # Flight recorder: the forced dump must be valid Chrome trace JSON with
+  # events from the submit ring and the worker rings.
+  python3 - "$ARTIFACT_DIR/SOAK_flight.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "flight dump has no events"
+tids = {e["tid"] for e in events}
+assert 0 in tids and len(tids) > 1, f"expected submit+worker rings, got {tids}"
+kinds = {e["name"] for e in events}
+assert "enqueue" in kinds and "dequeue" in kinds, kinds
+print(f"ci: flight dump has {len(events)} events across {len(tids)} rings")
+PY
 else
   grep -q '"rejected":0' "$ARTIFACT_DIR/SOAK_service.json" || {
     echo "ci: unsaturated soak shed requests" >&2
@@ -114,6 +175,16 @@ else
     exit 1
   }
 fi
+
+echo "=== ci: exemplar deterministic replay ==="
+# Responses are pure functions of (request, seed): every tail-latency
+# exemplar the soak captured must re-execute to its recorded response hash
+# (replay-exemplar exits non-zero on any mismatch).
+test -s "$ARTIFACT_DIR/SOAK_exemplars.jsonl" || {
+  echo "ci: soak captured no exemplars" >&2
+  exit 1
+}
+build-ci/tools/ivnet replay-exemplar --in "$ARTIFACT_DIR/SOAK_exemplars.jsonl"
 
 echo "=== ci: AddressSanitizer ==="
 build_and_test build-asan -DIVNET_SANITIZE=address
@@ -126,8 +197,8 @@ echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
 # the fir design validation used to vanish. Pin that the throwing contract
 # and the DSP/campaign suites hold in an assert-enabled Debug build too.
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test svc_test loadgen_test obs_test
-ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test|svc_test|loadgen_test|obs_test'
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test svc_test loadgen_test obs_test telemetry_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test|svc_test|loadgen_test|obs_test|telemetry_test'
 
 echo "=== ci: traced sweep artifacts ==="
 mkdir -p "$ARTIFACT_DIR"

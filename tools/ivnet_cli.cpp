@@ -11,6 +11,10 @@
 //                  [--journal FILE] [--out FILE] [--trials N] [--fresh]
 //   ivnet serve    [--workers N] [--queue-depth D] [--requests N|--duration S]
 //                  [--rate R] [--trials K] [--closed-loop [C]] [--json]
+//                  [--telemetry-out FILE] [--telemetry-interval S]
+//                  [--telemetry-clock sim|wall] [--exemplars-out FILE]
+//                  [--flight-out FILE] [--follow]
+//   ivnet replay-exemplar --in FILE [--id N | --index K] [--json]
 //   ivnet help
 //
 // Global flags (any command):
@@ -21,17 +25,24 @@
 //   --batch-size K         run trial sweeps through the batched lockstep
 //                          pipeline, K trials per batch (1 = scalar path;
 //                          results are bitwise-identical either way)
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ivnet/common/json.hpp"
+#include "ivnet/common/parallel.hpp"
 #include "ivnet/common/units.hpp"
 #include "ivnet/cib/optimizer.hpp"
+#include "ivnet/obs/flight_recorder.hpp"
 #include "ivnet/obs/obs.hpp"
+#include "ivnet/obs/telemetry.hpp"
 #include "ivnet/sim/batch_pipeline.hpp"
 #include "ivnet/sim/calibration.hpp"
 #include "ivnet/sim/campaign.hpp"
@@ -419,6 +430,21 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+bool read_file(const std::string& path, std::string& out);
+
+/// One `top`-style status line from the rolling windows at time `now_s`.
+void print_follow_line(obs::ServiceTelemetry& telemetry, double now_s) {
+  std::fprintf(stderr,
+               "[t=%8.2fs] rps %8.1f  shed %6.1f/s | wait p50 %8.3fms "
+               "p99 %8.3fms | svc p99 %8.3fms | 60s rps %8.1f\n",
+               now_s, telemetry.completed().rate_over(1.0, now_s),
+               telemetry.shed().rate_over(1.0, now_s),
+               telemetry.queue_wait().quantile_over(1.0, now_s, 0.50) * 1e3,
+               telemetry.queue_wait().quantile_over(1.0, now_s, 0.99) * 1e3,
+               telemetry.service_time().quantile_over(1.0, now_s, 0.99) * 1e3,
+               telemetry.completed().rate_over(60.0, now_s));
+}
+
 int cmd_serve(const Args& args) {
   const auto workers =
       static_cast<std::size_t>(std::max(1.0, args.get_num("workers", 4)));
@@ -463,8 +489,59 @@ int cmd_serve(const Args& args) {
   config.workers = workers;
   config.queue_depth = queue_depth;
 
+  // Live telemetry bundle: rolling windows + exemplars when any consumer
+  // asked for them, flight recorder when a dump path is given. The sim
+  // clock (default) attributes ingests to offered schedule time, so the
+  // emitted series and exemplar set are deterministic in --seed; wall
+  // mode is the live-operations view, sampled by a background thread.
+  const std::string telemetry_out = args.get("telemetry-out", "");
+  const std::string exemplars_out = args.get("exemplars-out", "");
+  const std::string flight_out = args.get("flight-out", "");
+  const bool follow = args.has("follow");
+  const double interval_s =
+      std::max(0.05, args.get_num("telemetry-interval", 1.0));
+  const bool sim_clock = args.get("telemetry-clock", "sim") != "wall";
+  const bool want_telemetry =
+      !telemetry_out.empty() || !exemplars_out.empty() || follow ||
+      !flight_out.empty();
+  std::optional<obs::ServiceTelemetry> telemetry;
+  std::optional<obs::FlightRecorder> flight;
+  if (want_telemetry) {
+    obs::TelemetryConfig telemetry_config;
+    telemetry_config.epoch_s = std::min(1.0, interval_s);
+    telemetry.emplace(telemetry_config);
+    config.telemetry = &*telemetry;
+  }
+  if (!flight_out.empty()) {
+    flight.emplace(workers + 1);
+    config.flight = &*flight;
+    // Fatal-signal forensics: a crash mid-run still leaves a trace behind.
+    obs::FlightRecorder::install_crash_handler(
+        &*flight, (flight_out + ".crash").c_str());
+  }
+  config.telemetry_clock =
+      sim_clock ? svc::TelemetryClock::kSim : svc::TelemetryClock::kWall;
+
   svc::LatencyCollector collector;
   svc::InventoryService service(config, collector.sink());
+
+  // Wall-clock sampler: one time-series record (and optional --follow
+  // line) per interval while the replay runs.
+  std::string series;
+  std::atomic<bool> sampler_stop{false};
+  std::thread sampler;
+  if (want_telemetry && !sim_clock) {
+    sampler = std::thread([&] {
+      while (!sampler_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+        const double now_s = service.wall_time_s();
+        series += telemetry->sample_json(now_s);
+        series += '\n';
+        if (follow) print_follow_line(*telemetry, now_s);
+      }
+    });
+  }
+
   svc::ReplayResult replay;
   const bool closed = args.has("closed-loop");
   if (closed) {
@@ -476,6 +553,27 @@ int cmd_serve(const Args& args) {
                                 std::max(1e-6, args.get_num("time-scale", 1.0)));
   }
   service.stop();  // graceful: drains every accepted request
+  if (sampler.joinable()) {
+    sampler_stop.store(true, std::memory_order_release);
+    sampler.join();
+  }
+  if (want_telemetry && sim_clock) {
+    // Post-hoc series on the sim clock: samples at the interval grid
+    // covering the schedule span. Byte-stable run-to-run for one seed.
+    const double span =
+        schedule.empty() ? 0.0 : schedule.back().t_s;
+    const std::size_t samples = static_cast<std::size_t>(span / interval_s) + 1;
+    for (std::size_t k = 1; k <= samples; ++k) {
+      const double now_s = static_cast<double>(k) * interval_s;
+      series += telemetry->sample_json(now_s);
+      series += '\n';
+      if (follow) print_follow_line(*telemetry, now_s);
+    }
+  }
+  if (flight) {
+    // Disarm before the recorder goes out of scope.
+    obs::FlightRecorder::install_crash_handler(nullptr, nullptr);
+  }
 
   const std::size_t completed = collector.completed();
   const double span_s = schedule.empty() ? 0.0 : schedule.back().t_s;
@@ -484,6 +582,18 @@ int cmd_serve(const Args& args) {
   char digest_hex[32];
   std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
                 static_cast<unsigned long long>(collector.digest()));
+
+  bool artifacts_ok = true;
+  if (!telemetry_out.empty()) {
+    artifacts_ok &= write_file(telemetry_out, series);
+  }
+  if (!exemplars_out.empty()) {
+    artifacts_ok &= write_file(exemplars_out, telemetry->exemplars_jsonl());
+  }
+  if (!flight_out.empty()) {
+    // On-demand dump; the same document the anomaly/crash paths produce.
+    artifacts_ok &= write_file(flight_out, flight->dump_json());
+  }
 
   if (args.has("json")) {
     JsonWriter w;
@@ -508,6 +618,14 @@ int cmd_serve(const Args& args) {
     w.field("latency_p99_s", collector.latency_quantile(0.99));
     w.field("sim_elapsed_total_s", collector.sim_elapsed_total_s());
     w.field("digest", digest_hex);
+    if (want_telemetry) {
+      w.field("anomalies", static_cast<std::size_t>(service.anomalies()));
+      w.field("exemplars", telemetry->exemplars().size());
+    }
+    if (flight) {
+      w.field("flight_events",
+              static_cast<std::size_t>(flight->total_events()));
+    }
     w.end_object();
     std::printf("%s\n", w.str().c_str());
   } else {
@@ -525,9 +643,136 @@ int cmd_serve(const Args& args) {
                 collector.service_quantile(0.50) * 1e3,
                 collector.service_quantile(0.99) * 1e3);
     std::printf("  response digest %s\n", digest_hex);
+    if (want_telemetry) {
+      std::printf("  anomalies %llu, exemplars retained %zu\n",
+                  static_cast<unsigned long long>(service.anomalies()),
+                  telemetry->exemplars().size());
+    }
   }
   // Every accepted request must have completed: the drain guarantee.
-  return completed == replay.accepted ? 0 : 1;
+  if (completed != replay.accepted) return 1;
+  return artifacts_ok ? 0 : 1;
+}
+
+int cmd_replay_exemplar(const Args& args) {
+  const std::string in = args.get(
+      "in", args.positional.empty() ? "" : args.positional.front());
+  if (in.empty()) {
+    std::fprintf(stderr,
+                 "ivnet replay-exemplar: --in FILE required (JSONL from "
+                 "`ivnet serve --exemplars-out`)\n");
+    return 2;
+  }
+  std::string text;
+  if (!read_file(in, text)) {
+    std::fprintf(stderr, "ivnet replay-exemplar: cannot read %s\n",
+                 in.c_str());
+    return 2;
+  }
+  std::vector<obs::Exemplar> exemplars;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    obs::Exemplar exemplar;
+    if (obs::parse_exemplar_line(line, exemplar)) {
+      exemplars.push_back(exemplar);
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (args.has("id")) {
+    const auto want = static_cast<std::uint64_t>(args.get_num("id", 0));
+    std::vector<obs::Exemplar> keep;
+    for (const obs::Exemplar& e : exemplars) {
+      if (e.id == want) keep.push_back(e);
+    }
+    exemplars = std::move(keep);
+  } else if (args.has("index")) {
+    const auto k = static_cast<std::size_t>(args.get_num("index", 0));
+    if (k >= exemplars.size()) {
+      std::fprintf(stderr,
+                   "ivnet replay-exemplar: --index %zu out of range "
+                   "(%zu exemplars)\n",
+                   k, exemplars.size());
+      return 2;
+    }
+    exemplars = {exemplars[k]};
+  }
+  if (exemplars.empty()) {
+    std::fprintf(stderr, "ivnet replay-exemplar: no exemplars selected\n");
+    return 2;
+  }
+
+  // Re-execute through the exact service code path. The response is a pure
+  // function of (request, seed): default link template + any batch size
+  // reproduce the captured bytes, whatever the capturing service's worker
+  // count or queue depth were. kPlan's optimizer parallel_for runs inline,
+  // matching the worker-thread environment.
+  ScopedInlineParallel inline_parallel;
+  svc::ServiceConfig config;
+  DspWorkspace workspace;
+  std::size_t matched = 0;
+  JsonWriter w;
+  w.begin_object();
+  w.key("replays").begin_array();
+  for (const obs::Exemplar& exemplar : exemplars) {
+    svc::Request request;
+    request.kind = static_cast<svc::RequestKind>(exemplar.kind);
+    request.trials = exemplar.trials;
+    request.antennas = static_cast<std::uint16_t>(exemplar.antennas);
+    request.id = exemplar.id;
+    request.seed = exemplar.seed;
+    request.snr_db = exemplar.snr_db;
+    request.medium_loss_db = exemplar.medium_loss_db;
+    svc::StageTimings stages;
+    const auto start_at = std::chrono::steady_clock::now();
+    const svc::Response response =
+        svc::execute_request(config, request, workspace, {}, &stages);
+    const double replay_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_at)
+                                .count();
+    const std::uint64_t hash = svc::response_hash(response);
+    const bool match = hash == exemplar.response_hash;
+    matched += match ? 1 : 0;
+    char expected_hex[32], actual_hex[32];
+    std::snprintf(expected_hex, sizeof(expected_hex), "%016llx",
+                  static_cast<unsigned long long>(exemplar.response_hash));
+    std::snprintf(actual_hex, sizeof(actual_hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    if (args.has("json")) {
+      w.begin_object();
+      w.field("id", static_cast<std::size_t>(exemplar.id));
+      w.field("kind", static_cast<int>(exemplar.kind));
+      w.field("trials", static_cast<std::size_t>(exemplar.trials));
+      w.field("expected_hash", expected_hex);
+      w.field("actual_hash", actual_hex);
+      w.field("match", match);
+      w.field("captured_latency_s", exemplar.total_latency_s());
+      w.field("replay_s", replay_s);
+      w.end_object();
+    } else {
+      std::printf("id %llu kind %u trials %u: captured %.3f ms "
+                  "(wait %.3f + svc %.3f), replay %.3f ms, hash %s %s\n",
+                  static_cast<unsigned long long>(exemplar.id), exemplar.kind,
+                  exemplar.trials, exemplar.total_latency_s() * 1e3,
+                  exemplar.queue_wait_s * 1e3, exemplar.service_s * 1e3,
+                  replay_s * 1e3, actual_hex,
+                  match ? "MATCH" : "MISMATCH");
+    }
+  }
+  w.end_array();
+  w.field("replayed", exemplars.size());
+  w.field("matched", matched);
+  w.end_object();
+  if (args.has("json")) {
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%zu/%zu exemplars reproduced their response hash\n", matched,
+                exemplars.size());
+  }
+  return matched == exemplars.size() ? 0 : 1;
 }
 
 int cmd_help() {
@@ -547,11 +792,31 @@ int cmd_help() {
       "           [--range-trials N] [--fresh] [--json]\n"
       "  serve    [--workers N] [--queue-depth D] [--requests N|--duration S]\n"
       "           [--rate R] [--trials K] [--snr DB] [--closed-loop [C]]\n"
-      "           [--seed S] [--json]   MMPP load against the service\n\n"
+      "           [--seed S] [--json]   MMPP load against the service\n"
+      "           [--telemetry-out FILE]      rolling-window JSONL series\n"
+      "           [--telemetry-interval S]    sample period (default 1 s)\n"
+      "           [--telemetry-clock sim|wall] window clock (default sim)\n"
+      "           [--exemplars-out FILE]      K-slowest exemplars (JSONL)\n"
+      "           [--flight-out FILE]         flight-recorder Chrome trace\n"
+      "           [--follow]                  top-style live status lines\n"
+      "  replay-exemplar --in FILE [--id N | --index K] [--json]\n"
+      "           re-execute captured exemplars; response hash must match\n\n"
       "global: --metrics-out FILE  --trace-out FILE  --trace-clock sim|wall\n"
       "        --batch-size K   batched lockstep trial pipeline (K trials\n"
       "                         per batch; bitwise-identical to scalar)\n");
   return 0;
+}
+
+/// Read `path` into `out`; returns false on open failure.
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
 }
 
 /// Write `text` to `path`; returns false (with a message) on failure.
@@ -576,6 +841,7 @@ int dispatch(const Args& args) {
   if (args.command == "deploy") return cmd_deploy(args);
   if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "replay-exemplar") return cmd_replay_exemplar(args);
   return cmd_help();
 }
 
