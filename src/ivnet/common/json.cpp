@@ -54,16 +54,20 @@ double json_find_number(std::string_view doc, std::string_view key,
   const std::size_t pos = doc.find(needle);
   if (pos == std::string_view::npos) return fallback;
   std::size_t start = pos + needle.size();
-  while (start < doc.size() && doc[start] == ' ') ++start;
+  // Any JSON whitespace may follow the colon, not just spaces.
+  while (start < doc.size() &&
+         (doc[start] == ' ' || doc[start] == '\t' || doc[start] == '\n' ||
+          doc[start] == '\r')) {
+    ++start;
+  }
   if (start >= doc.size()) return fallback;
-  // strtod needs a terminated buffer; numbers are short.
-  char buf[64];
-  const std::size_t len = std::min(doc.size() - start, sizeof(buf) - 1);
-  doc.copy(buf, len, start);
-  buf[len] = '\0';
-  char* end = nullptr;
-  const double value = std::strtod(buf, &end);
-  return end == buf ? fallback : value;
+  // from_chars, to match the std::to_chars writer: locale-independent, so a
+  // document written on one machine parses identically on any other (strtod
+  // under a de_DE locale would read "0.5" as 0).
+  double value = 0.0;
+  const auto res =
+      std::from_chars(doc.data() + start, doc.data() + doc.size(), value);
+  return res.ec == std::errc() ? value : fallback;
 }
 
 std::string json_find_string(std::string_view doc, std::string_view key,

@@ -12,8 +12,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -407,8 +410,25 @@ std::size_t default_batch_size() {
   }
   if (!g_default_batch_overridden) {
     if (const char* env = std::getenv("IVNET_BATCH")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 1 && v <= 1'000'000) return static_cast<std::size_t>(v);
+      // Strict full-string parse, like parse_thread_count: trailing garbage
+      // ("32abc") or an out-of-range value must not half-apply or silently
+      // vanish — warn once and fall back to the scalar path.
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' &&
+          errno != ERANGE && v >= 1 && v <= 1'000'000) {
+        return static_cast<std::size_t>(v);
+      }
+      if (*env != '\0') {
+        static std::once_flag warned;
+        std::call_once(warned, [env] {
+          std::fprintf(stderr,
+                       "ivnet: ignoring invalid IVNET_BATCH='%s' (expected "
+                       "an integer in 1..1000000)\n",
+                       env);
+        });
+      }
     }
   }
   return 1;

@@ -1,13 +1,18 @@
 #include "ivnet/sim/campaign.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <mutex>
 #include <string_view>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -59,10 +64,15 @@ std::string hash_hex(std::uint64_t hash) {
 }
 
 /// One journal record; `result_json` is spliced in verbatim so a replay
-/// reproduces the evaluator's bytes exactly.
+/// reproduces the evaluator's bytes exactly. `extras` (shard metadata)
+/// sits between the hash and cell fields so the result stays the record's
+/// final field — the reader slices it off the closing brace.
 std::string journal_line(const CellSpec& spec, std::uint64_t hash,
-                         const std::string& result_json) {
-  std::string line = "{\"hash\":\"" + hash_hex(hash) + "\",\"cell\":";
+                         const std::string& result_json,
+                         const std::string& extras = "") {
+  std::string line = "{\"hash\":\"" + hash_hex(hash) + "\",";
+  line += extras;
+  line += "\"cell\":";
   line += spec.canonical_json();
   line += ",\"result\":";
   line += result_json;
@@ -142,13 +152,11 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   void append(const CellSpec& spec, std::uint64_t hash,
-              const std::string& result_json) {
+              const std::string& result_json,
+              const std::string& extras = "") {
     if (file_ == nullptr) return;
-    const std::string line = journal_line(spec, hash, result_json);
     std::lock_guard<std::mutex> lock(mutex_);
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fflush(file_);
-    fsync(fileno(file_));
+    detail::append_journal_record(file_, spec, hash, result_json, extras);
   }
 
  private:
@@ -157,6 +165,35 @@ class JournalWriter {
 };
 
 }  // namespace
+
+namespace detail {
+
+void append_journal_record(std::FILE* file, const CellSpec& spec,
+                           std::uint64_t hash, const std::string& result_json,
+                           const std::string& extras) {
+  const std::string line = journal_line(spec, hash, result_json, extras);
+  // Every step of the durability chain is checked: a short fwrite, a failed
+  // fflush, or a failed fsync (ENOSPC, EIO, a read-only fd) means the
+  // "durably journaled before observed" contract cannot be met, so the
+  // caller must not report the cell as computed.
+  if (std::fwrite(line.data(), 1, line.size(), file) != line.size()) {
+    throw std::runtime_error(
+        std::string("campaign: journal write failed: ") +
+        std::strerror(errno));
+  }
+  if (std::fflush(file) != 0) {
+    throw std::runtime_error(
+        std::string("campaign: journal flush failed: ") +
+        std::strerror(errno));
+  }
+  if (fsync(fileno(file)) != 0) {
+    throw std::runtime_error(
+        std::string("campaign: journal fsync failed: ") +
+        std::strerror(errno));
+  }
+}
+
+}  // namespace detail
 
 // --- CellSpec ------------------------------------------------------------
 
@@ -257,7 +294,10 @@ std::size_t CellCache::size() const {
 
 std::vector<JournalEntry> read_campaign_journal(const std::string& path) {
   std::vector<JournalEntry> entries;
-  std::FILE* f = std::fopen(path.c_str(), "r");
+  // Binary mode, matching truncate_torn_tail: both walk the same byte
+  // offsets, so a result text carrying \r bytes can never make the reader
+  // and the truncator disagree about where a record ends.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return entries;
   std::string content;
   char buf[4096];
@@ -272,7 +312,7 @@ std::vector<JournalEntry> read_campaign_journal(const std::string& path) {
     const std::string line = content.substr(pos, eol - pos);
     pos = eol + 1;
 
-    // {"hash":"<16 hex>","cell":{...},"result":{...}}
+    // {"hash":"<16 hex>",[shard metadata,]"cell":{...},"result":{...}}
     static constexpr std::string_view kPrefix = "{\"hash\":\"";
     if (line.rfind(kPrefix, 0) != 0 || !balanced_json_object(line)) continue;
     const std::string hex = line.substr(kPrefix.size(), 16);
@@ -288,7 +328,20 @@ std::vector<JournalEntry> read_campaign_journal(const std::string& path) {
                                      line.size() - (rpos + kResultKey.size()) -
                                          1);
     if (!balanced_json_object(result)) continue;
-    entries.push_back(JournalEntry{hash, std::move(result)});
+    JournalEntry entry{};
+    entry.hash = hash;
+    entry.result_json = std::move(result);
+    // Shard metadata lives strictly before the cell field, so scanning only
+    // that prefix can never pick up a same-named key from the result text.
+    const std::size_t cell_pos = line.find("\"cell\":");
+    if (cell_pos != std::string::npos) {
+      const std::string_view head(line.data(), cell_pos);
+      const double shard = json_find_number(head, "shard", -1.0);
+      if (shard >= 0.0) entry.shard = static_cast<std::size_t>(shard);
+      entry.stolen = json_find_number(head, "stolen", 0.0) != 0.0;
+      entry.seconds = json_find_number(head, "t_s", 0.0);
+    }
+    entries.push_back(std::move(entry));
   }
   return entries;
 }
@@ -380,19 +433,35 @@ CampaignReport run_campaign(const CampaignSpec& spec,
 
   // Shard pending cells across the pool, one cell per chunk — cells are
   // coarse (whole Monte-Carlo sweeps), so the fixed fine grain of
-  // parallel_for would serialize small campaigns.
+  // parallel_for would serialize small campaigns. Exceptions (an evaluator
+  // throwing, a journal append that cannot be made durable) are captured —
+  // they cannot unwind through the pool — and the first one rethrows after
+  // the remaining cells have been skipped.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   auto evaluate = [&](std::size_t pi) {
-    const std::size_t i = pending[pi];
-    CellOutcome& out = report.outcomes[i];
-    const auto t0 = std::chrono::steady_clock::now();
-    out.result_json = evaluators[i](out.spec);
-    const double dt = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    out.source = CellSource::kComputed;
-    obs::observe("campaign.cell.seconds", dt);
-    cache.insert(out.hash, out.result_json);
-    journal.append(out.spec, out.hash, out.result_json);
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error) return;
+    }
+    try {
+      const std::size_t i = pending[pi];
+      CellOutcome& out = report.outcomes[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      out.result_json = evaluators[i](out.spec);
+      const double dt = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      out.source = CellSource::kComputed;
+      obs::observe("campaign.cell.seconds", dt);
+      // Journal BEFORE the memo cache: once any code path can observe the
+      // result, its journal line is already durable.
+      journal.append(out.spec, out.hash, out.result_json);
+      cache.insert(out.hash, out.result_json);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
   };
   if (pending.size() <= 1 || parallel_thread_count() <= 1 ||
       detail::in_pool_worker()) {
@@ -400,6 +469,7 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   } else {
     detail::pool_run(pending.size(), evaluate);
   }
+  if (first_error) std::rethrow_exception(first_error);
   report.cells_computed = pending.size();
 
   for (const std::size_t i : duplicates) {
@@ -411,6 +481,397 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   obs::count("campaign.cells.computed", report.cells_computed);
   obs::count("campaign.cache.hits", report.cache_hits);
   return report;
+}
+
+// --- Distributed campaigns -----------------------------------------------
+
+namespace {
+
+/// Exactly-once arbitration for one run generation: an append-only file of
+/// `<16-hex-hash> <shard>` lines, serialized by an fcntl whole-file write
+/// lock (cross-process) nested inside a process-wide mutex (fcntl record
+/// locks do not exclude threads of the same process). A worker may only
+/// evaluate a cell after winning its claim; losing means some other worker
+/// is computing (or has computed) it. Claims are NOT durable state — the
+/// journals are — so the coordinator truncates this file at the start of
+/// every generation and a claimed-but-never-journaled cell (its claimant
+/// was SIGKILLed) is simply recomputed on the next resume.
+class ClaimsFile {
+ public:
+  explicit ClaimsFile(std::string path) : path_(std::move(path)) {}
+
+  /// True when this worker won the claim on `hash` (nobody held it).
+  bool claim(std::uint64_t hash, std::size_t shard) {
+    static std::mutex process_mutex;
+    std::lock_guard<std::mutex> guard(process_mutex);
+    const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("campaign: cannot open claims file " + path_);
+    }
+    struct ::flock lock {};
+    lock.l_type = F_WRLCK;
+    lock.l_whence = SEEK_SET;
+    lock.l_start = 0;
+    lock.l_len = 0;  // whole file
+    while (::fcntl(fd, F_SETLKW, &lock) != 0) {
+      if (errno != EINTR) {
+        ::close(fd);
+        throw std::runtime_error("campaign: claims lock failed on " + path_);
+      }
+    }
+    bool won = false;
+    try {
+      const std::string content = read_all(fd);
+      const std::string hex = hash_hex(hash);
+      won = !holds_claim(content, hex);
+      if (won) {
+        std::string line;
+        // A SIGKILL mid-claim leaves a newline-less tail; starting on a
+        // fresh line keeps this claim parseable (the torn one stays
+        // conservative garbage and its cell falls to the next resume).
+        if (!content.empty() && content.back() != '\n') line += '\n';
+        line += hex;
+        line += ' ';
+        line += std::to_string(shard);
+        line += '\n';
+        append_durable(fd, line);
+      }
+    } catch (...) {
+      ::close(fd);  // releases the fcntl lock
+      throw;
+    }
+    ::close(fd);
+    return won;
+  }
+
+ private:
+  static std::string read_all(int fd) {
+    std::string content;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      content.append(buf, static_cast<std::size_t>(n));
+    }
+    if (n < 0) throw std::runtime_error("campaign: claims read failed");
+    return content;
+  }
+
+  /// True when some line of `content` already claims `hex`.
+  static bool holds_claim(const std::string& content, const std::string& hex) {
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      std::size_t eol = content.find('\n', pos);
+      if (eol == std::string::npos) eol = content.size();
+      if (eol - pos >= hex.size() &&
+          content.compare(pos, hex.size(), hex) == 0) {
+        return true;
+      }
+      pos = eol + 1;
+    }
+    return false;
+  }
+
+  static void append_durable(int fd, const std::string& line) {
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+      throw std::runtime_error("campaign: claims seek failed");
+    }
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ssize_t n =
+          ::write(fd, line.data() + written, line.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("campaign: claims write failed");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      throw std::runtime_error("campaign: claims fsync failed");
+    }
+  }
+
+  std::string path_;
+};
+
+}  // namespace
+
+std::string shard_journal_path(const std::string& base, std::size_t shard) {
+  return base + ".shard" + std::to_string(shard) + ".jsonl";
+}
+
+std::string shard_claims_path(const std::string& base) {
+  return base + ".claims";
+}
+
+void reset_campaign_claims(const ShardOptions& options) {
+  if (options.journal_path.empty()) return;
+  std::remove(shard_claims_path(options.journal_path).c_str());
+  if (options.fresh) {
+    for (std::size_t k = 0; k < options.n_shards; ++k) {
+      std::remove(shard_journal_path(options.journal_path, k).c_str());
+    }
+  }
+}
+
+ShardWorkerReport run_campaign_shard(const CampaignSpec& spec,
+                                     const ShardOptions& options,
+                                     std::size_t shard) {
+  if (options.journal_path.empty()) {
+    throw std::invalid_argument("campaign: sharded run needs a journal path");
+  }
+  if (options.n_shards == 0 || shard >= options.n_shards) {
+    throw std::invalid_argument("campaign: shard index out of range");
+  }
+  register_builtin_cell_evaluators();
+
+  // Resolve evaluators up front: a bad kind fails before any work.
+  std::vector<CellEvaluator> evaluators(spec.cells.size());
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    evaluators[i] = find_evaluator(spec.cells[i].kind);
+    if (!evaluators[i]) {
+      throw std::invalid_argument("campaign: no evaluator for kind '" +
+                                  spec.cells[i].kind + "'");
+    }
+  }
+
+  // Resolution order, per shard: journal (EVERY shard's — the whole
+  // fleet's finished work counts as resumed) -> memo cache -> compute.
+  std::unordered_set<std::uint64_t> journaled;
+  for (std::size_t k = 0; k < options.n_shards; ++k) {
+    for (const auto& entry :
+         read_campaign_journal(shard_journal_path(options.journal_path, k))) {
+      journaled.insert(entry.hash);
+    }
+  }
+
+  JournalWriter journal(shard_journal_path(options.journal_path, shard),
+                        /*fresh=*/false);
+  ClaimsFile claims(shard_claims_path(options.journal_path));
+  CellCache& cache = CellCache::instance();
+
+  ShardWorkerReport report;
+  report.shard = shard;
+
+  // Unique unresolved cells in spec order, split owned / stealable.
+  std::vector<std::size_t> own, others;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    const std::uint64_t hash = spec.cells[i].content_hash();
+    if (!seen.insert(hash).second) continue;
+    if (journaled.count(hash) > 0) {
+      ++report.cells_resumed;
+      continue;
+    }
+    if (hash % options.n_shards == shard) {
+      own.push_back(i);
+    } else {
+      others.push_back(i);
+    }
+  }
+  report.cells_owned = own.size();
+
+  std::mutex state_mutex;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto compute_cell = [&](std::size_t i, bool stolen) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error) return;
+    }
+    try {
+      const CellSpec& cell = spec.cells[i];
+      const std::uint64_t hash = cell.content_hash();
+      if (!claims.claim(hash, shard)) return;  // another worker has it
+      std::string result;
+      double dt = 0.0;
+      const bool from_cache = cache.lookup(hash, &result);
+      if (!from_cache) {
+        const auto t0 = std::chrono::steady_clock::now();
+        result = evaluators[i](cell);
+        dt = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+        obs::observe("campaign.cell.seconds", dt);
+      }
+      // Cache-resolved cells still land in this shard's journal, so the
+      // merged journal set replays the whole campaign on its own.
+      std::string extras = "\"shard\":" + std::to_string(shard) +
+                           ",\"stolen\":" + (stolen ? "1" : "0") +
+                           ",\"t_s\":" + format_param(dt) + ",";
+      journal.append(cell, hash, result, extras);
+      if (!from_cache) cache.insert(hash, result);
+      std::lock_guard<std::mutex> lock(state_mutex);
+      if (from_cache) {
+        ++report.cells_from_cache;
+      } else {
+        ++report.cells_computed;
+        if (stolen) {
+          ++report.cells_stolen;
+          obs::count("campaign.cells.stolen");
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  auto run_list = [&](const std::vector<std::size_t>& list, bool stolen) {
+    auto body = [&](std::size_t j) { compute_cell(list[j], stolen); };
+    if (list.size() <= 1 || parallel_thread_count() <= 1 ||
+        detail::in_pool_worker()) {
+      for (std::size_t j = 0; j < list.size(); ++j) body(j);
+    } else {
+      detail::pool_run(list.size(), body);
+    }
+  };
+  // Own shard first; only a worker whose backlog has drained starts
+  // stealing, so stealing strictly helps stragglers.
+  run_list(own, /*stolen=*/false);
+  run_list(others, /*stolen=*/true);
+  if (first_error) std::rethrow_exception(first_error);
+
+  obs::count("campaign.cells.computed", report.cells_computed);
+  obs::count("campaign.cells.resumed", report.cells_resumed);
+  obs::count("campaign.cache.hits", report.cells_from_cache);
+  return report;
+}
+
+ShardMergeReport merge_campaign_shards(const CampaignSpec& spec,
+                                       const ShardOptions& options) {
+  if (options.journal_path.empty()) {
+    throw std::invalid_argument("campaign: merge needs a journal path");
+  }
+  ShardMergeReport merge;
+  CampaignReport& report = merge.report;
+  report.name = spec.name;
+  report.cells_total = spec.cells.size();
+
+  std::unordered_map<std::uint64_t, std::string> results;
+  for (std::size_t k = 0; k < options.n_shards; ++k) {
+    for (auto& entry :
+         read_campaign_journal(shard_journal_path(options.journal_path, k))) {
+      if (entry.stolen) ++merge.cells_stolen;
+      if (entry.seconds > 0.0) {
+        const std::size_t writer =
+            entry.shard == JournalEntry::kNoShard ? k : entry.shard;
+        obs::observe("campaign.shard" + std::to_string(writer) +
+                         ".cell.seconds",
+                     entry.seconds);
+      }
+      results.emplace(entry.hash, std::move(entry.result_json));
+    }
+  }
+
+  // Spec order, exactly like the single-process report: when every cell is
+  // covered, results_json() is byte-identical to an unsharded run.
+  report.outcomes.resize(spec.cells.size());
+  std::unordered_set<std::uint64_t> missing;
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    CellOutcome& out = report.outcomes[i];
+    out.spec = spec.cells[i];
+    out.hash = spec.cells[i].content_hash();
+    const auto it = results.find(out.hash);
+    if (it != results.end()) {
+      out.result_json = it->second;
+      out.source = CellSource::kJournal;
+      ++report.cells_resumed;
+    } else if (missing.insert(out.hash).second) {
+      ++merge.cells_missing;
+    }
+  }
+  obs::count("campaign.shards", options.n_shards);
+  obs::count("campaign.cells.merged", results.size());
+  obs::count("campaign.cells.missing", merge.cells_missing);
+  return merge;
+}
+
+CampaignReport run_campaign_sharded(const CampaignSpec& spec,
+                                    const ShardOptions& options) {
+  if (options.n_shards <= 1 && options.journal_path.empty()) {
+    CampaignOptions single;
+    single.fresh = options.fresh;
+    return run_campaign(spec, single);
+  }
+  if (options.journal_path.empty()) {
+    throw std::invalid_argument("campaign: sharded run needs a journal path");
+  }
+  reset_campaign_claims(options);
+
+  // One thread per worker; each worker still shards its own cell list over
+  // the shared pool, and the claims file keeps the fleet exactly-once.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(options.n_shards);
+  for (std::size_t k = 0; k < options.n_shards; ++k) {
+    workers.emplace_back([&, k] {
+      try {
+        run_campaign_shard(spec, options, k);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  ShardMergeReport merged = merge_campaign_shards(spec, options);
+  if (!merged.complete()) {
+    throw std::runtime_error("campaign: merge is missing " +
+                             std::to_string(merged.cells_missing) +
+                             " cells (resume to fill the gaps)");
+  }
+  return std::move(merged.report);
+}
+
+namespace {
+
+// Strict full-string parse of IVNET_SHARDS, mirroring IVNET_THREADS /
+// IVNET_BATCH: "3" is a fleet of three, "3abc"/"abc"/"0" warn once and
+// fall back to a single process.
+std::size_t env_shard_count() {
+  const char* env = std::getenv("IVNET_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' &&
+      errno != ERANGE && value >= 1 && value <= 1024) {
+    return static_cast<std::size_t>(value);
+  }
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "ivnet: ignoring invalid IVNET_SHARDS='%s' (expected an "
+                 "integer in 1..1024)\n",
+                 env);
+  });
+  return 1;
+}
+
+}  // namespace
+
+CampaignReport run_bench_campaign(const CampaignSpec& spec,
+                                  const std::string& journal_path) {
+  const std::size_t shards = env_shard_count();
+  if (shards > 1 && !journal_path.empty()) {
+    ShardOptions options;
+    options.journal_path = journal_path;
+    options.n_shards = shards;
+    return run_campaign_sharded(spec, options);
+  }
+  if (shards > 1) {
+    std::fprintf(stderr,
+                 "ivnet: IVNET_SHARDS=%zu needs a journal path; running "
+                 "single-process\n",
+                 shards);
+  }
+  CampaignOptions options;
+  options.journal_path = journal_path;
+  return run_campaign(spec, options);
 }
 
 // --- Built-in evaluators -------------------------------------------------

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -137,16 +138,114 @@ struct CampaignReport {
 CampaignReport run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options = {});
 
-/// One replayable journal record.
+/// One replayable journal record. Shard journals carry extra metadata
+/// (owner shard, stolen flag, compute seconds) ahead of the cell; a
+/// single-process journal leaves the defaults.
 struct JournalEntry {
   std::uint64_t hash = 0;
   std::string result_json;
+  std::size_t shard = kNoShard;  ///< worker that journaled the record
+  bool stolen = false;           ///< claimed from another shard's backlog
+  double seconds = 0.0;          ///< compute time (0 for cache/replayed)
+
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 };
 
 /// Parse a campaign journal, skipping torn or corrupt lines (a record is
 /// only trusted when its line is newline-terminated and well-formed).
 /// Missing file => empty.
 std::vector<JournalEntry> read_campaign_journal(const std::string& path);
+
+// --- Distributed campaigns -----------------------------------------------
+// N cooperating worker processes split one campaign: every unique cell is
+// OWNED by shard `content_hash % n_shards`, each worker appends to its own
+// journal `<path>.shard<k>.jsonl` (same durable-append + torn-tail rules as
+// the single-process journal), and a worker that drains its own shard
+// STEALS unfinished cells from the others through an fcntl-locked claims
+// file `<path>.claims` — one claim line per cell, so every cell is computed
+// exactly once per run generation whatever the interleaving. The
+// coordinator merges all shard journals in spec order; the merged results
+// JSON is byte-identical to a single-process run at any shard count x
+// thread count.
+
+/// Shard layout shared by every worker and the coordinator.
+struct ShardOptions {
+  /// Base journal path; shard k journals to `<path>.shard<k>.jsonl` and
+  /// claims go to `<path>.claims`. Must be non-empty.
+  std::string journal_path;
+  std::size_t n_shards = 1;
+  /// Coordinator-only: discard shard journals before launching workers.
+  bool fresh = false;
+};
+
+std::string shard_journal_path(const std::string& base, std::size_t shard);
+std::string shard_claims_path(const std::string& base);
+
+/// Coordinator: start a new run generation — truncate the claims file (a
+/// claim only arbitrates liveness within one generation; durability lives
+/// in the journals) and, when `options.fresh`, delete the shard journals.
+/// Call exactly once before launching workers; never while workers run.
+void reset_campaign_claims(const ShardOptions& options);
+
+struct ShardWorkerReport {
+  std::size_t shard = 0;
+  std::size_t cells_owned = 0;     ///< unique unresolved cells this shard owns
+  std::size_t cells_computed = 0;  ///< evaluated by this worker (own + stolen)
+  std::size_t cells_stolen = 0;    ///< computed cells owned by another shard
+  std::size_t cells_from_cache = 0;  ///< journaled from the memo cache
+  std::size_t cells_resumed = 0;   ///< already in some shard journal
+};
+
+/// Run ONE worker's share of `spec`: resolve every cell journal (all
+/// shards) -> memo cache -> compute, claiming each cell through the claims
+/// file before evaluating. Own-shard cells first (in spec order, sharded
+/// across the thread pool), then steal the other shards' unfinished cells.
+/// Throws std::invalid_argument for an unknown kind and std::runtime_error
+/// when a journal append cannot be made durable.
+ShardWorkerReport run_campaign_shard(const CampaignSpec& spec,
+                                     const ShardOptions& options,
+                                     std::size_t shard);
+
+struct ShardMergeReport {
+  CampaignReport report;            ///< spec-order outcomes, journal-sourced
+  std::size_t cells_missing = 0;    ///< unique cells no shard journaled
+  std::size_t cells_stolen = 0;     ///< journal records marked stolen
+  bool complete() const { return cells_missing == 0; }
+};
+
+/// Merge every shard journal into a spec-order report. When complete(),
+/// `report.results_json()` is byte-identical to the single-process
+/// `run_campaign` output. Emits `campaign.shards`, `campaign.cells.merged`,
+/// `campaign.cells.missing` counters and per-shard
+/// `campaign.shard<k>.cell.seconds` histograms from the journal metadata.
+ShardMergeReport merge_campaign_shards(const CampaignSpec& spec,
+                                       const ShardOptions& options);
+
+/// Single-binary fleet harness (used by the benches and tests): run all
+/// `n_shards` workers concurrently on threads of this process, then merge.
+/// Falls back to plain run_campaign when n_shards <= 1 or the journal path
+/// is empty. Acts as its own coordinator (resets claims; honours fresh).
+CampaignReport run_campaign_sharded(const CampaignSpec& spec,
+                                    const ShardOptions& options);
+
+/// Bench entry point: honour the IVNET_SHARDS environment knob. With
+/// IVNET_SHARDS=N (N > 1) and a non-empty journal path the campaign runs as
+/// an in-process N-worker fleet (run_campaign_sharded); otherwise it is a
+/// plain run_campaign. Invalid IVNET_SHARDS values warn once on stderr and
+/// fall back to 1, mirroring IVNET_THREADS / IVNET_BATCH.
+CampaignReport run_bench_campaign(const CampaignSpec& spec,
+                                  const std::string& journal_path);
+
+namespace detail {
+/// Append one journal record to `file` and make it durable: the fwrite,
+/// fflush, AND fsync must all succeed or this throws std::runtime_error —
+/// a cell is never reported computed without a durable journal line.
+/// `extras` is spliced verbatim between the hash and cell fields (shard
+/// metadata; must be empty or end with ','). Exposed for tests.
+void append_journal_record(std::FILE* file, const CellSpec& spec,
+                           std::uint64_t hash, const std::string& result_json,
+                           const std::string& extras = "");
+}  // namespace detail
 
 // --- Figure campaigns ----------------------------------------------------
 // Built-in evaluator kinds: "gain" (blind-channel gain trials), "range"

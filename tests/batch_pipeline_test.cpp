@@ -337,6 +337,33 @@ TEST_F(BatchPipelineTest, ResolveBatchSizePrecedence) {
   EXPECT_EQ(resolve_batch_size(BatchConfig{}), 1u);
 }
 
+TEST_F(BatchPipelineTest, EnvBatchSizeRequiresAFullIntegerParse) {
+  const char* saved = std::getenv("IVNET_BATCH");
+  const std::string saved_value = saved ? saved : "";
+  const bool had_env = saved != nullptr;
+  const auto with_env = [](const char* value) {
+    ::setenv("IVNET_BATCH", value, 1);
+    return default_batch_size();
+  };
+  set_default_batch_size(0);  // let the environment decide
+  EXPECT_EQ(with_env("32"), 32u);
+  EXPECT_EQ(with_env("1"), 1u);
+  // "32abc" once parsed as 32 via strtoul's longest-prefix rule; a typo'd
+  // knob must fall back to the scalar default, not half-apply.
+  EXPECT_EQ(with_env("32abc"), 1u);
+  EXPECT_EQ(with_env("abc"), 1u);
+  EXPECT_EQ(with_env("0"), 1u);
+  EXPECT_EQ(with_env(""), 1u);
+  EXPECT_EQ(with_env("-4"), 1u);
+  EXPECT_EQ(with_env(" 32"), 1u);
+  EXPECT_EQ(with_env("99999999999999999999"), 1u);  // out of range
+  if (had_env) {
+    ::setenv("IVNET_BATCH", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("IVNET_BATCH");
+  }
+}
+
 // --- Workspace arena reuse ---------------------------------------------------
 
 TEST_F(BatchPipelineTest, WorkspaceBestFitCheckoutRecyclesSmallestFit) {

@@ -1,0 +1,344 @@
+// Tests for the distributed campaign machinery (sim/campaign): shard
+// ownership and merge byte-determinism across shard x thread counts, the
+// claims-file work-stealing protocol (exactly-once under concurrent
+// workers, solo worker drains every foreign backlog), merge accounting for
+// missing cells, shard-journal torn-tail recovery, journal shard metadata,
+// and the obs:: counter surface of a fleet run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivnet/common/parallel.hpp"
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/campaign.hpp"
+
+namespace ivnet {
+namespace {
+
+std::atomic<int> g_calls{0};
+
+// Hashes the evaluator should stall on (simulating a straggler shard).
+std::mutex g_slow_mutex;
+std::set<std::uint64_t> g_slow_hashes;
+
+void set_slow_hashes(std::set<std::uint64_t> hashes) {
+  std::lock_guard<std::mutex> lock(g_slow_mutex);
+  g_slow_hashes = std::move(hashes);
+}
+
+bool is_slow(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(g_slow_mutex);
+  return g_slow_hashes.count(hash) != 0;
+}
+
+std::atomic<int> g_slow_ms{120};
+
+// Deterministic synthetic evaluator; optionally slow for selected hashes.
+std::string shard_eval(const CellSpec& spec) {
+  g_calls.fetch_add(1);
+  if (is_slow(spec.content_hash())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(g_slow_ms.load()));
+  }
+  const double a = spec.param_num("a", 0.0);
+  const double b = spec.param_num("b", 0.0);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"sum\":%.10g,\"prod\":%.10g}", a + b,
+                a * b);
+  return buf;
+}
+
+CellSpec cell(double a, double b) {
+  CellSpec spec("shardsynth");
+  spec.set("a", a).set("b", b);
+  return spec;
+}
+
+/// A spec whose unique cells land on every one of `n_shards` shards (at
+/// least `per_shard` each) — ownership is content_hash % n_shards, so we
+/// keep minting cells until the layout balances. The two params vary
+/// independently: FNV-1a's low bits track byte parity, so bumping the same
+/// digit in both params would cancel and pin every cell to one shard.
+CampaignSpec balanced_spec(std::size_t n_shards, std::size_t per_shard) {
+  CampaignSpec spec;
+  spec.name = "shardtest";
+  std::vector<std::size_t> owned(n_shards, 0);
+  auto filled = [&] {
+    for (std::size_t count : owned)
+      if (count < per_shard) return false;
+    return true;
+  };
+  for (std::size_t i = 0; !filled(); ++i) {
+    EXPECT_LT(spec.cells.size(), 64u) << "hash layout failed to balance";
+    if (spec.cells.size() >= 64) break;
+    CellSpec c = cell(0.5 + 1.25 * static_cast<double>(i),
+                      0.37 * static_cast<double>(i * i + 3));
+    owned[c.content_hash() % n_shards]++;
+    spec.cells.push_back(std::move(c));
+  }
+  return spec;
+}
+
+std::string temp_base(const std::string& name) {
+  return testing::TempDir() + "campaign_shard_" + name + ".jsonl";
+}
+
+void remove_shard_files(const std::string& base, std::size_t n_shards) {
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    std::remove(shard_journal_path(base, k).c_str());
+  }
+  std::remove(shard_claims_path(base).c_str());
+}
+
+class CampaignShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_cell_evaluator("shardsynth", shard_eval);
+    CellCache::instance().clear();
+    g_calls.store(0);
+    set_slow_hashes({});
+    g_slow_ms.store(120);
+  }
+  void TearDown() override {
+    CellCache::instance().clear();
+    set_slow_hashes({});
+    set_parallel_threads(0);
+    obs::install_null();
+  }
+};
+
+TEST_F(CampaignShardTest, MergedFleetIsByteIdenticalAtAnyShardAndThreadCount) {
+  const CampaignSpec spec = balanced_spec(3, 2);
+  const std::string reference = run_campaign(spec).results_json();
+
+  const std::string base = temp_base("matrix");
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      set_parallel_threads(threads);
+      CellCache::instance().clear();
+      remove_shard_files(base, shards);
+      ShardOptions options{base, shards, /*fresh=*/true};
+      const CampaignReport report = run_campaign_sharded(spec, options);
+      EXPECT_EQ(report.results_json(), reference)
+          << "diverged at " << shards << " shards x " << threads
+          << " threads";
+    }
+    remove_shard_files(base, shards);
+  }
+}
+
+TEST_F(CampaignShardTest, FastWorkerStealsStragglerCellsExactlyOnce) {
+  const CampaignSpec spec = balanced_spec(2, 3);
+  const std::string reference = run_campaign(spec).results_json();
+
+  std::set<std::uint64_t> unique;
+  std::set<std::uint64_t> slow;  // every cell shard 1 owns stalls 120 ms
+  for (const auto& c : spec.cells) {
+    const std::uint64_t hash = c.content_hash();
+    unique.insert(hash);
+    if (hash % 2 == 1) slow.insert(hash);
+  }
+  set_slow_hashes(std::move(slow));
+
+  obs::MetricsRegistry registry;
+  obs::install({&registry, nullptr});
+  CellCache::instance().clear();
+  g_calls.store(0);
+  // Concurrent pool_run submissions serialize on the shared pool, so the
+  // two in-process workers need serial cell loops to truly overlap.
+  set_parallel_threads(1);
+
+  const std::string base = temp_base("steal");
+  remove_shard_files(base, 2);
+  const ShardOptions options{base, 2, /*fresh=*/true};
+  reset_campaign_claims(options);
+
+  ShardWorkerReport reports[2];
+  std::thread fast([&] { reports[0] = run_campaign_shard(spec, options, 0); });
+  std::thread slow_worker(
+      [&] { reports[1] = run_campaign_shard(spec, options, 1); });
+  fast.join();
+  slow_worker.join();
+  obs::install_null();
+
+  // Exactly-once: the claims file arbitrates, whatever the interleaving.
+  EXPECT_EQ(static_cast<std::size_t>(g_calls.load()), unique.size());
+  // Worker 0 drains its fast cells and then steals from the straggler.
+  EXPECT_GE(reports[0].cells_stolen, 1u);
+  EXPECT_EQ(reports[0].cells_computed + reports[1].cells_computed,
+            unique.size());
+  EXPECT_GE(registry.counter("campaign.cells.stolen").value(), 1u);
+
+  const ShardMergeReport merged = merge_campaign_shards(spec, options);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_GE(merged.cells_stolen, 1u);
+  EXPECT_EQ(merged.report.results_json(), reference);
+  remove_shard_files(base, 2);
+}
+
+TEST_F(CampaignShardTest, SoloWorkerStealsEveryForeignCell) {
+  const CampaignSpec spec = balanced_spec(3, 1);
+  const std::string reference = run_campaign(spec).results_json();
+  CellCache::instance().clear();
+  g_calls.store(0);
+
+  const std::string base = temp_base("solo");
+  remove_shard_files(base, 3);
+  const ShardOptions options{base, 3, /*fresh=*/true};
+  reset_campaign_claims(options);
+
+  // Only shard 1 shows up for work: it must compute its own cells AND
+  // steal both absent shards' entire backlogs.
+  const ShardWorkerReport report = run_campaign_shard(spec, options, 1);
+  std::set<std::uint64_t> unique;
+  for (const auto& c : spec.cells) unique.insert(c.content_hash());
+  EXPECT_EQ(report.cells_computed, unique.size());
+  EXPECT_EQ(report.cells_stolen, unique.size() - report.cells_owned);
+  EXPECT_GE(report.cells_stolen, 1u);
+
+  const ShardMergeReport merged = merge_campaign_shards(spec, options);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.report.results_json(), reference);
+  remove_shard_files(base, 3);
+}
+
+TEST_F(CampaignShardTest, MergeCountsMissingCellsUntilEveryShardReports) {
+  const CampaignSpec spec = balanced_spec(3, 1);
+  std::set<std::uint64_t> unique;
+  for (const auto& c : spec.cells) unique.insert(c.content_hash());
+
+  const std::string base = temp_base("missing");
+  remove_shard_files(base, 3);
+  const ShardOptions options{base, 3, /*fresh=*/false};
+
+  // No shard has journaled anything: every unique cell is missing.
+  ShardMergeReport merged = merge_campaign_shards(spec, options);
+  EXPECT_FALSE(merged.complete());
+  EXPECT_EQ(merged.cells_missing, unique.size());
+
+  // Journal exactly one cell by hand; the gap shrinks by one.
+  std::FILE* file = std::fopen(shard_journal_path(base, 0).c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  detail::append_journal_record(file, spec.cells[0],
+                                spec.cells[0].content_hash(),
+                                "{\"sum\":1.5,\"prod\":0.5}");
+  std::fclose(file);
+  merged = merge_campaign_shards(spec, options);
+  EXPECT_FALSE(merged.complete());
+  EXPECT_EQ(merged.cells_missing, unique.size() - 1);
+  remove_shard_files(base, 3);
+}
+
+TEST_F(CampaignShardTest, TornShardJournalTailRecomputesOnlyTheLostCell) {
+  const CampaignSpec spec = balanced_spec(2, 2);
+  const std::string reference = run_campaign(spec).results_json();
+
+  const std::string base = temp_base("torn");
+  remove_shard_files(base, 2);
+  ShardOptions options{base, 2, /*fresh=*/true};
+  CellCache::instance().clear();
+  run_campaign_sharded(spec, options);
+
+  // Drop shard 0's last durable record and leave a torn half-line in its
+  // place — the tail a SIGKILL mid-fwrite leaves behind.
+  const std::string shard0 = shard_journal_path(base, 0);
+  std::string content;
+  {
+    std::ifstream in(shard0, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(content.empty());
+  const std::size_t cut = content.rfind('\n', content.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out(shard0, std::ios::binary | std::ios::trunc);
+    out << content.substr(0, cut + 1) << "{\"hash\":\"01ab";
+  }
+
+  CellCache::instance().clear();
+  g_calls.store(0);
+  options.fresh = false;  // resume generation
+  const CampaignReport report = run_campaign_sharded(spec, options);
+  EXPECT_EQ(g_calls.load(), 1) << "only the torn-away cell recomputes";
+  EXPECT_EQ(report.results_json(), reference);
+  remove_shard_files(base, 2);
+}
+
+TEST_F(CampaignShardTest, ShardJournalsCarryOwnershipMetadata) {
+  const CampaignSpec spec = balanced_spec(2, 1);
+  const std::string base = temp_base("meta");
+  remove_shard_files(base, 2);
+  const ShardOptions options{base, 2, /*fresh=*/true};
+  CellCache::instance().clear();
+  run_campaign_sharded(spec, options);
+
+  std::size_t records = 0;
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (const JournalEntry& entry :
+         read_campaign_journal(shard_journal_path(base, k))) {
+      ++records;
+      EXPECT_EQ(entry.shard, k) << "journal writer must stamp its shard";
+      EXPECT_GE(entry.seconds, 0.0);
+      EXPECT_FALSE(entry.result_json.empty());
+    }
+  }
+  std::set<std::uint64_t> unique;
+  for (const auto& c : spec.cells) unique.insert(c.content_hash());
+  EXPECT_EQ(records, unique.size());
+  remove_shard_files(base, 2);
+}
+
+TEST_F(CampaignShardTest, ObsCountersSurfaceFleetTraffic) {
+  const CampaignSpec spec = balanced_spec(2, 2);
+  std::set<std::uint64_t> slow;  // a few ms per cell so t_s lands > 0
+  for (const auto& c : spec.cells) slow.insert(c.content_hash());
+  set_slow_hashes(std::move(slow));
+  g_slow_ms.store(3);
+
+  obs::MetricsRegistry registry;
+  obs::install({&registry, nullptr});
+  const std::string base = temp_base("obs");
+  remove_shard_files(base, 2);
+  const ShardOptions options{base, 2, /*fresh=*/true};
+  CellCache::instance().clear();
+  run_campaign_sharded(spec, options);
+  obs::install_null();
+
+  std::set<std::uint64_t> unique;
+  for (const auto& c : spec.cells) unique.insert(c.content_hash());
+  EXPECT_EQ(registry.counter("campaign.shards").value(), 2u);
+  EXPECT_EQ(registry.counter("campaign.cells.merged").value(), unique.size());
+  EXPECT_EQ(registry.counter("campaign.cells.missing").value(), 0u);
+  const std::string snapshot = registry.snapshot_json();
+  EXPECT_NE(snapshot.find("campaign.cell.seconds"), std::string::npos);
+  EXPECT_NE(snapshot.find("campaign.shard0.cell.seconds"), std::string::npos)
+      << "merge must replay per-shard compute-time histograms";
+  EXPECT_NE(snapshot.find("campaign.shard1.cell.seconds"), std::string::npos);
+  remove_shard_files(base, 2);
+}
+
+TEST_F(CampaignShardTest, ShardedRunValidatesItsArguments) {
+  const CampaignSpec spec = balanced_spec(2, 1);
+  ShardOptions options{"", 3, false};
+  EXPECT_THROW(run_campaign_sharded(spec, options), std::invalid_argument);
+  const std::string base = temp_base("args");
+  EXPECT_THROW(run_campaign_shard(spec, {base, 2, false}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(run_campaign_shard(spec, {base, 0, false}, 0),
+               std::invalid_argument);
+  remove_shard_files(base, 2);
+}
+
+}  // namespace
+}  // namespace ivnet

@@ -1,7 +1,10 @@
 // Tests for ivnet/sim/campaign: cell canonicalization and content hashing,
 // journal crash-consistency (torn-tail skipping), kill-and-resume byte
 // determinism, the process-wide memo cache (duplicate and cross-campaign
-// sharing), thread-count invariance, and the obs:: counter surface.
+// sharing), thread-count invariance, the obs:: counter surface, and the
+// journal durability contract (failed appends throw; raw \r bytes
+// round-trip through the binary-mode reader). The distributed fleet lives
+// in campaign_shard_test.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -343,6 +346,75 @@ TEST_F(CampaignTest, BuiltinGainCellIsDeterministicAcrossThreads) {
   const std::string eight = run_campaign(spec).results_json();
   EXPECT_EQ(one, eight);
   EXPECT_NE(one.find("\"p50\":"), std::string::npos);
+}
+
+// --- Journal durability and byte fidelity ----------------------------------
+
+TEST_F(CampaignTest, JournalAppendToUnwritableFileThrows) {
+  // A cell must never count as journaled when the line did not land: a
+  // short fwrite (here: the stream is open read-only) has to surface as an
+  // exception, not a silent "durable" success.
+  const std::string path = temp_journal("readonly");
+  { std::ofstream out(path, std::ios::binary); }
+  std::FILE* readonly = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(readonly, nullptr);
+  const CellSpec cell = synth_cell(1.0, 2.0);
+  EXPECT_THROW(detail::append_journal_record(readonly, cell,
+                                             cell.content_hash(), "{}"),
+               std::runtime_error);
+  std::fclose(readonly);
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignTest, RunSurfacesJournalFlushFailures) {
+  // /dev/full accepts the fopen and fails at flush time (ENOSPC) — the
+  // run must throw instead of reporting cells whose journal lines never
+  // hit the disk. fresh=true skips the resume read (/dev/full reads as an
+  // endless stream of zeros).
+  std::FILE* probe = std::fopen("/dev/full", "we");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full unavailable";
+  std::fclose(probe);
+  set_parallel_threads(1);
+  CampaignSpec spec;
+  spec.name = "enospc";
+  spec.cells = {synth_cell(41.0, 1.0)};
+  EXPECT_THROW(run_campaign(spec, {"/dev/full", /*fresh=*/true}),
+               std::runtime_error);
+}
+
+TEST_F(CampaignTest, JournalRoundTripsCarriageReturnBytes) {
+  // The reader opens in binary mode; a text-mode reader could eat \r
+  // bytes and desynchronize the resume offsets from the on-disk tail.
+  register_cell_evaluator("crlf", [](const CellSpec&) {
+    return std::string("{\"s\":\"a\rb\",\"n\":1}");
+  });
+  CellSpec cell("crlf");
+  cell.set("seed", std::size_t{1});
+  CampaignSpec spec;
+  spec.name = "crlf";
+  spec.cells = {cell};
+  const std::string path = temp_journal("crlf");
+  const std::string reference = run_campaign(spec, {path, true}).results_json();
+
+  const auto entries = read_campaign_journal(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].result_json.find('\r'), std::string::npos)
+      << "raw \\r bytes must round-trip through the journal";
+  EXPECT_EQ(entries[0].result_json, "{\"s\":\"a\rb\",\"n\":1}");
+
+  // A torn tail right after the \r-bearing record must truncate at the
+  // correct byte offset: resume replays the record, recomputes nothing,
+  // and the output stays byte-identical.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"hash\":\"fe";
+  }
+  CellCache::instance().clear();
+  const CampaignReport resumed = run_campaign(spec, {path, false});
+  EXPECT_EQ(resumed.cells_resumed, 1u);
+  EXPECT_EQ(resumed.cells_computed, 0u);
+  EXPECT_EQ(resumed.results_json(), reference);
+  std::remove(path.c_str());
 }
 
 }  // namespace

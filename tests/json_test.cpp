@@ -1,6 +1,7 @@
 // Tests for ivnet/common/json: escaping and writer structure.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdlib>
 
@@ -186,6 +187,29 @@ TEST(JsonFindNumber, FallbackWhenAbsentOrNotANumber) {
   EXPECT_DOUBLE_EQ(json_find_number("", "a", 3.5), 3.5);
   // Scientific notation and surrounding space are fine.
   EXPECT_DOUBLE_EQ(json_find_number("{\"x\": 2.5e-3}", "x", 0.0), 2.5e-3);
+}
+
+TEST(JsonFindNumber, SkipsAnyJsonWhitespaceAfterTheColon) {
+  // Pretty-printed documents put tabs and newlines after the colon; all
+  // four JSON whitespace bytes are legal there.
+  EXPECT_DOUBLE_EQ(json_find_number("{\"x\":\t4.5}", "x", 0.0), 4.5);
+  EXPECT_DOUBLE_EQ(json_find_number("{\"x\":\n  -2}", "x", 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(json_find_number("{\"x\":\r\n7e2}", "x", 0.0), 700.0);
+  EXPECT_DOUBLE_EQ(json_find_number("{\"x\": \t", "x", 1.5), 1.5);
+}
+
+TEST(JsonFindNumber, ParsesIndependentlyOfTheProcessLocale) {
+  // strtod under a comma-decimal locale reads "0.5" as 0 and journals
+  // written on one machine would parse differently on another; the
+  // from_chars parser must not consult the locale at all.
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const double gain = json_find_number("{\"gain\":0.5}", "gain", -1.0);
+  const double sci = json_find_number("{\"ber\":2.5e-3}", "ber", -1.0);
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_DOUBLE_EQ(gain, 0.5);
+  EXPECT_DOUBLE_EQ(sci, 2.5e-3);
 }
 
 }  // namespace

@@ -265,6 +265,50 @@ grep -q 'campaign.cells.resumed' "$CAMPAIGN_DIR/resume_metrics.json" || {
 }
 echo "ci: kill-and-resume output byte-identical across 1/2/8 threads"
 
+echo "=== ci: distributed campaign shard fleet ==="
+# Three cooperating worker processes split one x13 campaign through
+# per-shard journals and the fcntl-locked claims file. One worker is
+# SIGKILL'd mid-run; the survivors steal what they can, the coordinator
+# resume fills the durable gap, and the merged JSON must stay
+# byte-identical to the single-process reference at every thread count.
+SHARD_DIR="$ARTIFACT_DIR/campaign-shards"
+mkdir -p "$SHARD_DIR"
+SHARD_TRIALS="${SHARD_TRIALS:-24}"
+IVNET_THREADS=1 build-ci/tools/ivnet campaign run --bench x13 \
+    --trials "$SHARD_TRIALS" --fresh \
+    --journal "$SHARD_DIR/ref.jsonl" --out "$SHARD_DIR/ref.json"
+rm -f "$SHARD_DIR"/fleet.jsonl.shard*.jsonl "$SHARD_DIR/fleet.jsonl.claims"
+for k in 0 1 2; do
+  IVNET_THREADS=2 build-ci/tools/ivnet campaign worker --bench x13 \
+      --trials "$SHARD_TRIALS" --journal "$SHARD_DIR/fleet.jsonl" \
+      --shards 3 --shard "$k" &
+  eval "worker$k=\$!"
+done
+sleep 0.15
+kill -9 "$worker1" 2>/dev/null || true
+wait "$worker0" 2>/dev/null || true
+wait "$worker1" 2>/dev/null || true
+wait "$worker2" 2>/dev/null || true
+build-ci/tools/ivnet campaign status --bench x13 --trials "$SHARD_TRIALS" \
+    --journal "$SHARD_DIR/fleet.jsonl" --shards 3
+for threads in 1 2 8; do
+  IVNET_THREADS=$threads build-ci/tools/ivnet campaign resume --bench x13 \
+      --trials "$SHARD_TRIALS" --journal "$SHARD_DIR/fleet.jsonl" \
+      --shards 3 --out "$SHARD_DIR/merged_$threads.json"
+  cmp "$SHARD_DIR/ref.json" "$SHARD_DIR/merged_$threads.json" || {
+    echo "ci: sharded campaign diverged at IVNET_THREADS=$threads" >&2
+    exit 1
+  }
+done
+build-ci/tools/ivnet campaign merge --bench x13 --trials "$SHARD_TRIALS" \
+    --journal "$SHARD_DIR/fleet.jsonl" --shards 3 \
+    --out "$SHARD_DIR/merged_only.json"
+cmp "$SHARD_DIR/ref.json" "$SHARD_DIR/merged_only.json" || {
+  echo "ci: campaign merge output differs from the single-process run" >&2
+  exit 1
+}
+echo "ci: 3-shard fleet byte-identical across 1/2/8 threads after worker SIGKILL"
+
 # Coverage gates only where the tool exists — the growth container has no
 # gcovr — unless the caller asked for coverage explicitly, in which case a
 # missing gcovr is a loud failure rather than a silent skip.

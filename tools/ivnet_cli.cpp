@@ -7,8 +7,9 @@
 //                  [--antennas N] [--distance M | --depth M] [--json]
 //   ivnet vitals   [--rounds K]               sensor-read dialogues (swine)
 //   ivnet safety   [--antennas N] [--duty D] [--json]
-//   ivnet campaign run|status|resume --bench fig9|fig13|x13
+//   ivnet campaign run|status|resume|worker|merge --bench fig9|fig13|x13
 //                  [--journal FILE] [--out FILE] [--trials N] [--fresh]
+//                  [--shards N] [--shard K]   (worker: one shard's process)
 //   ivnet serve    [--workers N] [--queue-depth D] [--requests N|--duration S]
 //                  [--rate R] [--trials K] [--closed-loop [C]] [--json]
 //                  [--telemetry-out FILE] [--telemetry-interval S]
@@ -25,6 +26,9 @@
 //   --batch-size K         run trial sweeps through the batched lockstep
 //                          pipeline, K trials per batch (1 = scalar path;
 //                          results are bitwise-identical either way)
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -357,6 +361,25 @@ CampaignSpec campaign_from(const Args& args) {
   return {};
 }
 
+/// Emit the merged results (file / stdout / summary line), shared by the
+/// coordinator and the standalone merge subcommand.
+int emit_campaign_results(const Args& args, const CampaignReport& report,
+                          const std::string& sink_label) {
+  const std::string results = report.results_json();
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !write_file(out, results)) return 1;
+  if (args.has("json")) {
+    std::printf("%s\n", results.c_str());
+    return 0;
+  }
+  std::printf("campaign %s: %zu cells (%zu computed, %zu resumed, "
+              "%zu cache hits) -> %s\n",
+              report.name.c_str(), report.cells_total, report.cells_computed,
+              report.cells_resumed, report.cache_hits,
+              out.empty() ? sink_label.c_str() : out.c_str());
+  return 0;
+}
+
 int cmd_campaign(const Args& args) {
   const std::string sub =
       args.positional.empty() ? "run" : args.positional.front();
@@ -370,10 +393,26 @@ int cmd_campaign(const Args& args) {
   }
   const std::string journal =
       args.get("journal", "campaign_" + spec.name + ".jsonl");
+  const auto shards = static_cast<std::size_t>(
+      std::max(1.0, args.get_num("shards", 1)));
+  ShardOptions shard_options;
+  shard_options.journal_path = journal;
+  shard_options.n_shards = shards;
 
   if (sub == "status") {
-    // Report journal coverage without evaluating anything.
-    const auto entries = read_campaign_journal(journal);
+    // Report journal coverage without evaluating anything. With --shards,
+    // coverage counts a cell done when ANY shard journal holds it.
+    std::vector<JournalEntry> entries;
+    if (shards > 1) {
+      for (std::size_t k = 0; k < shards; ++k) {
+        for (auto& entry :
+             read_campaign_journal(shard_journal_path(journal, k))) {
+          entries.push_back(std::move(entry));
+        }
+      }
+    } else {
+      entries = read_campaign_journal(journal);
+    }
     std::size_t done = 0;
     for (const auto& cell : spec.cells) {
       const std::uint64_t hash = cell.content_hash();
@@ -389,45 +428,129 @@ int cmd_campaign(const Args& args) {
       w.begin_object();
       w.field("campaign", spec.name);
       w.field("journal", journal);
+      w.field("shards", shards);
       w.field("cells_total", spec.cells.size());
       w.field("cells_done", done);
       w.field("journal_records", entries.size());
       w.end_object();
       std::printf("%s\n", w.str().c_str());
     } else {
-      std::printf("campaign %s: %zu/%zu cells journaled in %s\n",
-                  spec.name.c_str(), done, spec.cells.size(),
-                  journal.c_str());
+      std::printf("campaign %s: %zu/%zu cells journaled in %s (%zu shards)\n",
+                  spec.name.c_str(), done, spec.cells.size(), journal.c_str(),
+                  shards);
     }
     return 0;
   }
+
+  if (sub == "worker") {
+    // One shard's worker, runnable (and killable) as its own process — the
+    // coordinator forks these, and ci.sh SIGKILLs one mid-run.
+    if (!args.has("shard")) {
+      std::fprintf(stderr, "ivnet campaign worker: --shard K required\n");
+      return 2;
+    }
+    const auto shard =
+        static_cast<std::size_t>(args.get_num("shard", 0));
+    try {
+      const ShardWorkerReport report =
+          run_campaign_shard(spec, shard_options, shard);
+      std::printf("campaign %s shard %zu/%zu: %zu owned, %zu computed "
+                  "(%zu stolen, %zu from cache), %zu resumed\n",
+                  spec.name.c_str(), report.shard, shards, report.cells_owned,
+                  report.cells_computed, report.cells_stolen,
+                  report.cells_from_cache, report.cells_resumed);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ivnet campaign worker: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (sub == "merge") {
+    const ShardMergeReport merged = merge_campaign_shards(spec, shard_options);
+    if (!merged.complete()) {
+      std::fprintf(stderr,
+                   "ivnet campaign merge: %zu cells missing from the shard "
+                   "journals (resume with --shards %zu to fill them)\n",
+                   merged.cells_missing, shards);
+      return 1;
+    }
+    return emit_campaign_results(args, merged.report, journal);
+  }
+
   if (sub != "run" && sub != "resume") {
     std::fprintf(stderr,
                  "ivnet campaign: unknown subcommand '%s' "
-                 "(expected run|status|resume)\n",
+                 "(expected run|status|resume|worker|merge)\n",
                  sub.c_str());
     return 2;
   }
 
-  CampaignOptions options;
-  options.journal_path = journal;
   // `run --fresh` discards the checkpoint; `resume` never does.
-  options.fresh = sub == "run" && args.has("fresh");
-  const CampaignReport report = run_campaign(spec, options);
+  const bool fresh = sub == "run" && args.has("fresh");
 
-  const std::string results = report.results_json();
-  const std::string out = args.get("out", "");
-  if (!out.empty() && !write_file(out, results)) return 1;
-  if (args.has("json")) {
-    std::printf("%s\n", results.c_str());
-    return 0;
+  if (shards <= 1) {
+    CampaignOptions options;
+    options.journal_path = journal;
+    options.fresh = fresh;
+    const CampaignReport report = run_campaign(spec, options);
+    return emit_campaign_results(args, report, journal);
   }
-  std::printf("campaign %s: %zu cells (%zu computed, %zu resumed, "
-              "%zu cache hits) -> %s\n",
-              report.name.c_str(), report.cells_total, report.cells_computed,
-              report.cells_resumed, report.cache_hits,
-              out.empty() ? journal.c_str() : out.c_str());
-  return 0;
+
+  // Coordinator: start a fresh claims generation, fork one worker process
+  // per shard, wait, then merge the shard journals in spec order. A dead or
+  // failed worker leaves holes the merge reports; `campaign resume --shards
+  // N` re-runs the fleet over the surviving journals.
+  shard_options.fresh = fresh;
+  reset_campaign_claims(shard_options);
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> pids;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Worker child: compute, then exit without running the parent's
+      // artifact-writing tail (std::_Exit skips atexit and stdio flush —
+      // nothing buffered here; the journal is already fsync'd).
+      int rc = 1;
+      try {
+        run_campaign_shard(spec, shard_options, k);
+        rc = 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ivnet campaign shard %zu: %s\n", k, e.what());
+      }
+      std::_Exit(rc);
+    }
+    if (pid < 0) {
+      std::fprintf(stderr, "ivnet campaign: fork failed for shard %zu\n", k);
+      break;  // wait for the workers that did start, then report holes
+    }
+    pids.push_back(pid);
+  }
+  bool workers_ok = pids.size() == shards;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      workers_ok = false;
+    }
+  }
+
+  const ShardMergeReport merged = merge_campaign_shards(spec, shard_options);
+  if (!merged.complete() || !workers_ok) {
+    std::fprintf(stderr,
+                 "ivnet campaign: sharded %s incomplete (%zu cells missing, "
+                 "workers %s) — `ivnet campaign resume --shards %zu` to "
+                 "finish\n",
+                 sub.c_str(), merged.cells_missing,
+                 workers_ok ? "ok" : "failed", shards);
+    return 1;
+  }
+  if (!args.has("json")) {
+    std::printf("campaign %s: merged %zu shards (%zu cells stolen)\n",
+                spec.name.c_str(), shards, merged.cells_stolen);
+  }
+  return emit_campaign_results(args, merged.report, journal);
 }
 
 bool read_file(const std::string& path, std::string& out);
@@ -787,9 +910,14 @@ int cmd_help() {
       "  safety   [--antennas N] [--duty D] [--distance M] [--json]\n"
       "  deploy   --scenario air|water|gastric|subcut [--tag std|mini]\n"
       "           [--depth M] [--reads-per-minute R] [--json]\n"
-      "  campaign run|status|resume --bench fig9|fig13|x13\n"
+      "  campaign run|status|resume|worker|merge --bench fig9|fig13|x13\n"
       "           [--journal FILE] [--out FILE] [--trials N]\n"
       "           [--range-trials N] [--fresh] [--json]\n"
+      "           [--shards N]   run/resume fork N worker processes, each\n"
+      "                          journaling <journal>.shard<k>.jsonl, then\n"
+      "                          merge (byte-identical to --shards 1)\n"
+      "           worker --shard K --shards N   one shard's worker process\n"
+      "           merge  --shards N             merge shard journals only\n"
       "  serve    [--workers N] [--queue-depth D] [--requests N|--duration S]\n"
       "           [--rate R] [--trials K] [--snr DB] [--closed-loop [C]]\n"
       "           [--seed S] [--json]   MMPP load against the service\n"
