@@ -89,12 +89,17 @@ void scan_envelope_sq(std::span<const double> offsets_hz,
 
 std::size_t default_steps(std::span<const double> offsets_hz, double t_max_s) {
   double max_offset = 1.0;
+  // NaN offsets fall out of std::max naturally; an inf offset propagates
+  // into `steps` and clamps to the ceiling below.
   for (double f : offsets_hz) max_offset = std::max(max_offset, std::abs(f));
   // ~16 samples per cycle of the fastest beat; enough for a parabolic
   // refinement to land within a fraction of a percent of the true peak.
   const double steps = 16.0 * max_offset * t_max_s;
+  // A NaN product (e.g. NaN t_max) would sail through std::clamp and turn
+  // into an undefined size_t cast — pin it to the documented ceiling.
+  if (!std::isfinite(steps)) return kMaxDefaultSteps;
   return static_cast<std::size_t>(
-      std::clamp(steps, 256.0, static_cast<double>(1u << 20)));
+      std::clamp(steps, 256.0, static_cast<double>(kMaxDefaultSteps)));
 }
 
 std::vector<double> cib_envelope(std::span<const double> offsets_hz,

@@ -70,7 +70,18 @@ double expected_conduction_fraction(std::span<const double> offsets_hz,
                                     std::size_t trials, Rng& rng,
                                     double t_max_s = 1.0);
 
-/// Deterministic evaluation grid size heuristic shared by the helpers.
+/// Hard ceiling on the evaluation grid: default_steps derives the grid from
+/// the LARGEST offset (~16 samples per cycle of the fastest beat), so a
+/// large-N or large-offset set would otherwise request an unbounded grid —
+/// cib_envelope materializes one double per sample (8 MiB at this ceiling)
+/// and every scan pays O(N * steps) time. Above the ceiling the grid
+/// undersamples the fastest beats slightly; the parabolic peak refinement
+/// absorbs most of the loss. Non-finite inputs (inf offsets, NaN t_max)
+/// also clamp here instead of poisoning the size arithmetic.
+inline constexpr std::size_t kMaxDefaultSteps = 1u << 20;
+
+/// Deterministic evaluation grid size heuristic shared by the helpers:
+/// clamp(16 * max|offset| * t_max, 256, kMaxDefaultSteps).
 std::size_t default_steps(std::span<const double> offsets_hz, double t_max_s);
 
 }  // namespace ivnet

@@ -39,6 +39,18 @@ struct OptimizerResult {
   std::size_t evaluations = 0;
 };
 
+/// Simulated-annealing schedule for the large-N planner search
+/// (optimize_annealed). Temperature decays geometrically from t_initial to
+/// t_final over `moves` steps; the proposal magnitude decays with it, so
+/// the walk covers the cyclic integer lattice coarsely while hot and
+/// settles into single-Hz refinement when cold.
+struct AnnealConfig {
+  std::size_t moves = 400;       ///< annealing moves per restart
+  double t_initial = 0.05;       ///< relative-score temperature at move 0
+  double t_final = 1e-3;         ///< ... at the last move (geometric decay)
+  std::size_t max_step_hz = 32;  ///< proposal magnitude at t_initial (>= 1)
+};
+
 /// Randomized local search maximizing `objective` (or Eq. 6 by default)
 /// subject to integer offsets with RMS within the flatness constraint.
 class FrequencyOptimizer {
@@ -55,6 +67,19 @@ class FrequencyOptimizer {
   /// and the result is bitwise identical for any IVNET_THREADS value.
   OptimizerResult optimize(Rng& rng);
 
+  /// Large-N search: simulated annealing over the cyclic integer lattice,
+  /// every move scored by the delta evaluator (cib/delta_objective.hpp) in
+  /// O(steps * mc_trials) instead of the full O(N * steps * mc_trials)
+  /// pass — the path that makes N in the hundreds tractable. Specific to
+  /// the Eq. 6 expected-peak objective (a custom set_objective callback
+  /// cannot be delta-evaluated and is ignored here). Same determinism
+  /// contract as optimize(): restarts fan out over the pool via
+  /// counter-derived Rng::stream sub-streams, `rng` is consumed exactly
+  /// once, and the result is bitwise identical at any IVNET_THREADS.
+  /// Throws std::invalid_argument when the flatness constraint admits no
+  /// feasible set at config().num_antennas.
+  OptimizerResult optimize_annealed(const AnnealConfig& anneal, Rng& rng);
+
   /// Score one specific offset set with the configured objective and trial
   /// count (useful for evaluating the paper's published set).
   double score(std::span<const double> offsets_hz) const;
@@ -69,8 +94,22 @@ class FrequencyOptimizer {
   };
 
   RestartOutcome run_restart(Rng& rng) const;
+  RestartOutcome run_annealed_restart(const AnnealConfig& anneal,
+                                      Rng& rng) const;
+  OptimizerResult finish(std::vector<RestartOutcome> outcomes) const;
+
+  /// Bounded rejection sampling for a feasible start: 200 uniform draws,
+  /// then a deterministic arithmetic ramp. Throws std::invalid_argument
+  /// (echoing the constraint) when no feasible set of num_antennas distinct
+  /// non-negative integer offsets exists under the RMS bound — the minimal
+  /// set {0, 1, ..., N-1} already violates it.
   std::vector<double> random_feasible(Rng& rng) const;
   bool feasible(std::span<const double> offsets_hz) const;
+
+  /// Throws std::invalid_argument when num_antennas distinct integer
+  /// offsets cannot satisfy the RMS bound (checked before restart fan-out
+  /// so the parallel workers never throw).
+  void ensure_constraint_feasible() const;
 
   OptimizerConfig config_;
   OffsetObjective objective_;

@@ -365,6 +365,52 @@ std::string CampaignReport::results_json() const {
   return out;
 }
 
+CellOutcome resolve_cell(const CellSpec& spec,
+                         const std::string& journal_path) {
+  // One resolver at a time: concurrent service workers re-planning the same
+  // scenario must not interleave journal appends or double-compute a cell.
+  static std::mutex resolve_mutex;
+  std::lock_guard<std::mutex> lock(resolve_mutex);
+
+  CellOutcome outcome;
+  outcome.spec = spec;
+  outcome.hash = spec.content_hash();
+  // Journal first — the only source that survives a process restart.
+  bool in_journal = false;
+  if (!journal_path.empty()) {
+    for (auto& entry : read_campaign_journal(journal_path)) {
+      if (entry.hash != outcome.hash) continue;
+      outcome.result_json = std::move(entry.result_json);
+      outcome.source = CellSource::kJournal;
+      in_journal = true;
+      break;  // first matching record wins, like the campaign replay
+    }
+  }
+  if (in_journal) {
+    CellCache::instance().insert(outcome.hash, outcome.result_json);
+    return outcome;
+  }
+  if (CellCache::instance().lookup(outcome.hash, &outcome.result_json)) {
+    outcome.source = CellSource::kCache;
+  } else {
+    const CellEvaluator evaluator = find_evaluator(spec.kind);
+    if (!evaluator) {
+      throw std::invalid_argument("campaign: no evaluator for kind '" +
+                                  spec.kind + "'");
+    }
+    outcome.result_json = evaluator(spec);
+    outcome.source = CellSource::kComputed;
+  }
+  // Journal BEFORE the memo cache (the run_campaign ordering): the result
+  // is durable before any other code path can observe it.
+  if (!journal_path.empty()) {
+    JournalWriter journal(journal_path, /*fresh=*/false);
+    journal.append(spec, outcome.hash, outcome.result_json);
+  }
+  CellCache::instance().insert(outcome.hash, outcome.result_json);
+  return outcome;
+}
+
 CampaignReport run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options) {
   register_builtin_cell_evaluators();

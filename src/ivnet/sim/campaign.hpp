@@ -138,6 +138,20 @@ struct CampaignReport {
 CampaignReport run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options = {});
 
+/// Durable single-cell memo (the planner's plan store): resolve `spec`
+/// against the journal at `journal_path` (same format and torn-tail rules
+/// as a campaign journal; empty path skips persistence), then the
+/// process-wide CellCache, else compute with the registered evaluator.
+/// A result not already in the journal is appended and fsync'd before this
+/// returns, so an identical spec resolved by a later process replays the
+/// stored bytes instead of recomputing. Calls are serialized process-wide;
+/// cross-process writers of one journal need external coordination (the
+/// intended deployment is one planner process per store, like the
+/// single-process campaign journal). Throws std::invalid_argument for an
+/// unregistered kind and propagates evaluator exceptions.
+CellOutcome resolve_cell(const CellSpec& spec,
+                         const std::string& journal_path);
+
 /// One replayable journal record. Shard journals carry extra metadata
 /// (owner shard, stolen flag, compute seconds) ahead of the cell; a
 /// single-process journal leaves the defaults.

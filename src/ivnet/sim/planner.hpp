@@ -6,10 +6,13 @@
 // RF-exposure compliant.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "ivnet/cib/frequency_plan.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/sim/campaign.hpp"
 #include "ivnet/sim/experiment.hpp"
 #include "ivnet/sim/safety.hpp"
 
@@ -45,5 +48,56 @@ DeploymentPlan plan_deployment(const Scenario& scenario, const TagConfig& tag,
 
 /// Pretty one-paragraph summary for logs/CLI.
 std::string describe(const DeploymentPlan& plan);
+
+// --- Large-N frequency planner with a content-addressed plan store -------
+// The Eq. 10 search scaled to N in the hundreds (annealed, delta-evaluated
+// — cib/delta_objective.hpp), productized: every plan request is one
+// campaign cell (kind "freq_plan"), keyed by the FNV-1a content hash of its
+// canonical parameters, resolved journal -> process-wide CellCache ->
+// compute. Re-planning an identical scenario is a cache hit — the stored
+// plan JSON is returned byte-for-byte with ZERO objective evaluations and
+// zero RNG draws, across process restarts when a journal path is given.
+
+/// The planning scenario. Every field participates in the content hash, so
+/// any change re-plans and any repeat hits the store.
+struct FrequencyPlanRequest {
+  std::size_t antennas = 10;
+  std::size_t mc_trials = 32;       ///< phase draws per score
+  std::size_t moves = 400;          ///< annealing moves per restart
+  std::size_t restarts = 2;
+  std::uint64_t seed = 7;           ///< proposal randomness
+  std::uint64_t score_seed = 1234;  ///< common random numbers for scoring
+  FlatnessConstraint constraint;    ///< Eq. 9 bound
+  double t_max_s = 1.0;             ///< cyclic period (T = 1 s)
+};
+
+struct FrequencyPlanOutcome {
+  std::vector<double> offsets_hz;  ///< sorted, first = 0
+  double score = 0.0;              ///< E[peak amplitude] of the winner
+  double rms_hz = 0.0;
+  /// Objective evaluations spent by THIS call (0 on any cache hit).
+  std::size_t evaluations = 0;
+  bool cached = false;  ///< resolved from the journal or the memo cache
+  std::uint64_t scenario_hash = 0;  ///< content hash of the plan cell
+  /// The stored plan record, verbatim — byte-identical between the run
+  /// that computed it and every later hit, whatever process served it.
+  std::string plan_json;
+};
+
+/// The campaign cell a request maps to (exposed for tests and tooling).
+CellSpec freq_plan_cell(const FrequencyPlanRequest& request);
+
+/// Registers the "freq_plan" cell evaluator (idempotent; plan_frequencies
+/// calls it on demand).
+void register_freq_plan_evaluator();
+
+/// Plan (or re-plan) the frequency set for `request`. Emits
+/// planner.cache.{hits,misses} counters and, on a miss, the
+/// planner.plan.seconds histogram; the search itself emits planner.evals
+/// and planner.moves.{accepted,rejected}. Deterministic: the stored plan
+/// is a pure function of the request at any IVNET_THREADS. Throws
+/// std::invalid_argument when the constraint admits no feasible set.
+FrequencyPlanOutcome plan_frequencies(const FrequencyPlanRequest& request,
+                                      const std::string& journal_path = "");
 
 }  // namespace ivnet

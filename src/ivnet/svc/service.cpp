@@ -4,12 +4,12 @@
 #include <bit>
 #include <utility>
 
-#include "ivnet/cib/optimizer.hpp"
 #include "ivnet/common/parallel.hpp"
 #include "ivnet/obs/flight_recorder.hpp"
 #include "ivnet/obs/obs.hpp"
 #include "ivnet/obs/telemetry.hpp"
 #include "ivnet/sim/batch_pipeline.hpp"
+#include "ivnet/sim/planner.hpp"
 
 namespace ivnet::svc {
 namespace {
@@ -91,25 +91,27 @@ Response execute_request(const ServiceConfig& config, const Request& request,
       return response;
 
     case RequestKind::kPlan: {
-      // Small re-plan: the Eq. 10 search at request scale. Deterministic in
-      // (seed, antennas); the optimizer's internal parallel_for must be
-      // inline in the calling thread (service workers hold
-      // ScopedInlineParallel; replay callers set it up themselves).
+      // Re-plan through the content-addressed plan store: the annealed
+      // delta-evaluated Eq. 10 search on a miss, the stored plan bytes on a
+      // hit (identical (antennas, seed) requests spend zero objective
+      // evaluations; journal-backed when config.plan_journal_path is set).
+      // Deterministic in (seed, antennas); the planner's internal
+      // parallel_for must be inline in the calling thread (service workers
+      // hold ScopedInlineParallel; replay callers set it up themselves).
       if (flight != nullptr) {
         flight->record(hook->ring, obs::FlightEvent::kStageEnter,
                        flight_now(), request.id, 0);
       }
-      OptimizerConfig opt_config;
-      opt_config.num_antennas =
-          std::clamp<std::size_t>(request.antennas, 2, 12);
-      opt_config.mc_trials = 8;
-      opt_config.iterations = 16;
-      opt_config.restarts = 1;
-      FrequencyOptimizer optimizer(opt_config);
-      Rng rng(request.seed);
-      const OptimizerResult result = optimizer.optimize(rng);
+      FrequencyPlanRequest plan_request;
+      plan_request.antennas = std::clamp<std::size_t>(request.antennas, 2, 64);
+      plan_request.mc_trials = 8;
+      plan_request.moves = 24;
+      plan_request.restarts = 1;
+      plan_request.seed = request.seed;
+      const FrequencyPlanOutcome plan =
+          plan_frequencies(plan_request, config.plan_journal_path);
       response.succeeded = 1;
-      response.plan_score = result.score;
+      response.plan_score = plan.score;
       const double span_s =
           seconds_between(start, std::chrono::steady_clock::now());
       if (stages != nullptr) stages->add(span_s);

@@ -130,6 +130,11 @@ struct ServiceConfig {
   /// workers + 1 rings. Null = no events recorded.
   obs::FlightRecorder* flight = nullptr;
   TelemetryClock telemetry_clock = TelemetryClock::kWall;
+  /// Journal backing the kPlan plan store (sim/planner plan_frequencies):
+  /// identical (antennas, seed) re-plans are memo hits either way, and a
+  /// non-empty path makes them survive process restarts. Empty = in-memory
+  /// memoization only.
+  std::string plan_journal_path;
 };
 
 /// The exact per-request link config a worker executes — exposed so tests

@@ -26,6 +26,25 @@ namespace {
 
 constexpr std::size_t kPoolSizes[] = {1, 2, 8};
 
+/// The balanced-brace object following `"key":` in `doc` (including the
+/// braces), or "" when absent. The snapshot emitter never puts braces inside
+/// strings, so brace counting is exact here.
+std::string extract_object(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t open = doc.find('{', at + needle.size());
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < doc.size(); ++i) {
+    if (doc[i] == '{') ++depth;
+    if (doc[i] == '}' && --depth == 0) {
+      return doc.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
+
 class DeterminismTest : public ::testing::Test {
  protected:
   void TearDown() override { set_parallel_threads(0); }
@@ -83,6 +102,87 @@ TEST_F(DeterminismTest, OptimizerBitwiseAcrossPoolSizes) {
     EXPECT_EQ(result.rms_hz, reference.rms_hz) << "pool size " << threads;
     EXPECT_EQ(result.evaluations, reference.evaluations)
         << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, AnnealedOptimizerBitwiseAcrossPoolSizes) {
+  // The delta-evaluated annealing search inherits the optimizer's
+  // determinism contract: one stream base per optimize call, one counter
+  // stream per restart, trial-order reductions — so the winning plan is
+  // byte-identical whether the restarts ran sequentially (pool of 1) or
+  // fanned out (8).
+  OptimizerConfig cfg;
+  cfg.num_antennas = 12;
+  cfg.mc_trials = 8;
+  cfg.restarts = 3;
+  AnnealConfig anneal;
+  anneal.moves = 60;
+  auto run = [&] {
+    FrequencyOptimizer opt(cfg);
+    Rng rng(123);
+    return opt.optimize_annealed(anneal, rng);
+  };
+  set_parallel_threads(1);
+  const auto reference = run();
+  EXPECT_EQ(reference.offsets_hz.size(), 12u);
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    const auto result = run();
+    EXPECT_EQ(result.offsets_hz, reference.offsets_hz)
+        << "pool size " << threads;
+    EXPECT_EQ(result.score, reference.score) << "pool size " << threads;
+    EXPECT_EQ(result.rms_hz, reference.rms_hz) << "pool size " << threads;
+    EXPECT_EQ(result.evaluations, reference.evaluations)
+        << "pool size " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, PlannerCountersSnapshotByteEqualAcrossPoolSizes) {
+  // Plan once (miss: the annealer runs and emits planner.evals and
+  // planner.moves.*), re-plan the identical request (hit: zero extra
+  // evals), and pin the counters section of the snapshot across thread
+  // counts. planner.plan.seconds is wall-valued and lives in a histogram
+  // section, so comparing counters only keeps the pin byte-exact.
+  FrequencyPlanRequest request;
+  request.antennas = 8;
+  request.mc_trials = 4;
+  request.moves = 24;
+  request.restarts = 2;
+  auto run = [&] {
+    CellCache::instance().clear();  // a fresh store per run: miss then hit
+    obs::MetricsRegistry registry;
+    obs::install({.metrics = &registry, .tracer = nullptr});
+    const auto first = plan_frequencies(request);
+    const auto again = plan_frequencies(request);
+    obs::install_null();
+    EXPECT_FALSE(first.cached);
+    EXPECT_TRUE(again.cached);
+    EXPECT_EQ(again.evaluations, 0u);
+    EXPECT_EQ(again.plan_json, first.plan_json);
+    // Pin the planner.* counters only: the infrastructural parallel.for.*
+    // counters count pool dispatches, which legitimately change when the
+    // restart fan-out switches between parallel and sequential.
+    const std::string counters =
+        extract_object(registry.snapshot_json(), "counters");
+    std::string pinned;
+    std::size_t pos = 0;
+    while ((pos = counters.find("\"planner.", pos)) != std::string::npos) {
+      const std::size_t end = counters.find_first_of(",}", pos);
+      pinned += counters.substr(pos, end - pos) + "\n";
+      pos = end;
+    }
+    return pinned;
+  };
+  set_parallel_threads(1);
+  const std::string reference = run();
+  ASSERT_NE(reference.find("planner.evals"), std::string::npos);
+  ASSERT_NE(reference.find("planner.moves.accepted"), std::string::npos);
+  ASSERT_NE(reference.find("planner.moves.rejected"), std::string::npos);
+  ASSERT_NE(reference.find("planner.cache.hits"), std::string::npos);
+  ASSERT_NE(reference.find("planner.cache.misses"), std::string::npos);
+  for (std::size_t threads : kPoolSizes) {
+    set_parallel_threads(threads);
+    EXPECT_EQ(run(), reference) << "pool size " << threads;
   }
 }
 
@@ -334,25 +434,6 @@ TEST_F(DeterminismTest, SnapshotAndTraceTogetherByteEqualAcrossPoolSizes) {
   }
 }
 
-/// The balanced-brace object following `"key":` in `doc` (including the
-/// braces), or "" when absent. The snapshot emitter never puts braces inside
-/// strings, so brace counting is exact here.
-std::string extract_object(const std::string& doc, const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = doc.find(needle);
-  if (at == std::string::npos) return "";
-  const std::size_t open = doc.find('{', at + needle.size());
-  if (open == std::string::npos) return "";
-  int depth = 0;
-  for (std::size_t i = open; i < doc.size(); ++i) {
-    if (doc[i] == '{') ++depth;
-    if (doc[i] == '}' && --depth == 0) {
-      return doc.substr(open, i - open + 1);
-    }
-  }
-  return "";
-}
-
 TEST_F(DeterminismTest, ServiceMetricsSnapshotByteEqualAcrossWorkerCounts) {
   // Service mode inherits the metrics determinism contract: every counter
   // and every SIM-time-valued histogram in the snapshot must be
@@ -378,6 +459,9 @@ TEST_F(DeterminismTest, ServiceMetricsSnapshotByteEqualAcrossWorkerCounts) {
   const auto schedule = svc::generate_schedule(load);
 
   auto run = [&](std::size_t workers) {
+    // kPlan requests memoize through the process-wide plan store; clear it
+    // so every run recomputes and the planner counters match run one.
+    CellCache::instance().clear();
     obs::MetricsRegistry registry;
     obs::install({.metrics = &registry, .tracer = nullptr});
     {

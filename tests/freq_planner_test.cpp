@@ -1,0 +1,444 @@
+// Large-N frequency planner: the delta evaluator's memcmp contract against
+// the retained full evaluation, the annealed search's structure and
+// infeasibility handling, default_steps/planner_steps boundaries, and the
+// content-hashed plan store (miss -> compute -> journal; hit -> zero
+// evaluations, byte-identical plan record, across simulated restarts).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ivnet/cib/delta_objective.hpp"
+#include "ivnet/cib/objective.hpp"
+#include "ivnet/cib/optimizer.hpp"
+#include "ivnet/obs/metrics.hpp"
+#include "ivnet/obs/obs.hpp"
+#include "ivnet/sim/campaign.hpp"
+#include "ivnet/sim/planner.hpp"
+#include "ivnet/svc/service.hpp"
+
+namespace ivnet {
+namespace {
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// A deterministic spread start set: n distinct integers within [0, cap].
+std::vector<double> spread_set(std::size_t n, double cap) {
+  std::vector<double> offsets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i] =
+        std::floor(cap * static_cast<double>(i) / static_cast<double>(n));
+  }
+  return offsets;
+}
+
+// ------------------------------------------------- delta vs full evaluation
+
+TEST(DeltaObjectiveTest, DeltaScoreStreamMemcmpEqualsFullRebuild) {
+  // Random move/commit sequences at several (N, trials) shapes, including
+  // ragged trial counts that do not divide the worker count: every
+  // score_move and every post-commit score() must be bit-identical to the
+  // from-scratch full_score rebuild of the same offset set.
+  const std::size_t kAntennas[] = {2, 10, 64};
+  const std::size_t kTrialCounts[] = {1, 7, 33};
+  for (const std::size_t n : kAntennas) {
+    for (const std::size_t trials : kTrialCounts) {
+      const double cap = 64.0 + static_cast<double>(n);
+      DeltaEvalConfig eval;
+      eval.mc_trials = trials;
+      eval.steps = 512;  // small grid: the contract is exact at any size
+      DeltaEnvelopeState state(spread_set(n, cap), eval);
+      EXPECT_TRUE(bit_equal(state.score(), state.full_score(state.offsets_hz())))
+          << "n=" << n << " trials=" << trials << " (initial build)";
+
+      Rng walk(1000 + n * 10 + trials);
+      for (std::size_t m = 0; m < 12; ++m) {
+        const auto tone = static_cast<std::size_t>(
+            walk.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const double proposed = static_cast<double>(
+            walk.uniform_int(0, static_cast<std::int64_t>(cap)));
+        // Probe without mutating: the probe must equal the oracle score of
+        // the probed set.
+        std::vector<double> probed(state.offsets_hz().begin(),
+                                   state.offsets_hz().end());
+        probed[tone] = proposed;
+        const double probe = state.score_move(tone, proposed);
+        EXPECT_TRUE(bit_equal(probe, state.full_score(probed)))
+            << "n=" << n << " trials=" << trials << " move " << m;
+        if (m % 2 == 0) {
+          // Commit: score() must land exactly on the probe, and stay
+          // memcmp-equal to the rebuild despite the accumulated history.
+          state.commit_move(tone, proposed);
+          EXPECT_TRUE(bit_equal(state.score(), probe))
+              << "n=" << n << " trials=" << trials << " commit " << m;
+          EXPECT_TRUE(
+              bit_equal(state.score(), state.full_score(state.offsets_hz())))
+              << "n=" << n << " trials=" << trials << " rebuild " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaObjectiveTest, TracksDoublePrecisionOracleWithinQuantization) {
+  // The fixed-point evaluator is a 2^-40-quantized version of the Eq. 6
+  // scan: against the untouched double-precision expected_peak_amplitude
+  // machinery it must agree to far better than the Monte-Carlo noise floor.
+  const std::size_t n = 10;
+  DeltaEvalConfig eval;
+  eval.mc_trials = 8;
+  eval.steps = 4096;
+  const auto offsets = spread_set(n, 128.0);
+  DeltaEnvelopeState state(offsets, eval);
+  // Same grid, same phases, double precision: peak_amplitude_samples with
+  // an explicit steps count and the delta state's own trial phases is not
+  // directly callable here, so compare against a fresh state at doubled
+  // resolution — the quantization error is orders below this tolerance.
+  DeltaEvalConfig fine = eval;
+  fine.steps = 8192;
+  DeltaEnvelopeState fine_state(offsets, fine);
+  EXPECT_NEAR(state.score(), fine_state.score(), 1e-3 * state.score());
+}
+
+TEST(DeltaObjectiveTest, PlannerStepsBoundaries) {
+  // 16 samples/Hz/s with a floor of 256 and the documented ceiling.
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(1.0, 1.0), 256u);
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(100.0, 1.0), 1600u);
+  const double at_ceiling =
+      static_cast<double>(DeltaEnvelopeState::kMaxPlannerSteps) / 16.0;
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(at_ceiling, 1.0),
+            DeltaEnvelopeState::kMaxPlannerSteps);
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(at_ceiling * 64.0, 1.0),
+            DeltaEnvelopeState::kMaxPlannerSteps);
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(
+                std::numeric_limits<double>::infinity(), 1.0),
+            DeltaEnvelopeState::kMaxPlannerSteps);
+  // A NaN offset falls out of the max(1, .) guard (same policy as
+  // default_steps) and lands on the floor, not the ceiling.
+  EXPECT_EQ(DeltaEnvelopeState::planner_steps(
+                std::numeric_limits<double>::quiet_NaN(), 1.0),
+            256u);
+}
+
+TEST(DeltaObjectiveTest, LargeNConstructionStaysExact) {
+  // N = 256 — above anything the service exposes — still builds, scores,
+  // and holds the memcmp contract.
+  DeltaEvalConfig eval;
+  eval.mc_trials = 4;
+  eval.steps = 1024;
+  DeltaEnvelopeState state(spread_set(256, 4096.0), eval);
+  EXPECT_GT(state.score(), 0.0);
+  EXPECT_TRUE(bit_equal(state.score(), state.full_score(state.offsets_hz())));
+  state.commit_move(17, 2222.0);
+  EXPECT_TRUE(bit_equal(state.score(), state.full_score(state.offsets_hz())));
+}
+
+// --------------------------------------------------- default_steps ceiling
+
+TEST(DefaultStepsTest, CeilingAndBoundaries) {
+  const double t = 1.0;
+  // 16 * 65536 * 1.0 is exactly the 2^20 ceiling.
+  {
+    const std::vector<double> v = {65536.0};
+    EXPECT_EQ(default_steps(v, t), kMaxDefaultSteps);
+  }
+  // Beyond it: clamped, never overflowing the size_t cast.
+  {
+    const std::vector<double> v = {1e12};
+    EXPECT_EQ(default_steps(v, t), kMaxDefaultSteps);
+  }
+  {
+    const std::vector<double> v = {std::numeric_limits<double>::infinity()};
+    EXPECT_EQ(default_steps(v, t), kMaxDefaultSteps);
+  }
+  // NaN offsets fall out of std::max; the floor applies.
+  {
+    const std::vector<double> v = {std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_EQ(default_steps(v, t), 256u);
+  }
+  // NaN t_max would otherwise sail through std::clamp into a UB cast.
+  {
+    const std::vector<double> v = {100.0};
+    EXPECT_EQ(default_steps(v, std::numeric_limits<double>::quiet_NaN()),
+              kMaxDefaultSteps);
+  }
+  {
+    const std::vector<double> v = {100.0};
+    EXPECT_EQ(default_steps(v, t), 1600u);
+  }
+}
+
+// ------------------------------------------------------- annealed search
+
+TEST(AnnealedOptimizerTest, ProducesSortedDistinctFeasibleIntegerPlan) {
+  OptimizerConfig cfg;
+  cfg.num_antennas = 32;
+  cfg.mc_trials = 8;
+  cfg.restarts = 2;
+  AnnealConfig anneal;
+  anneal.moves = 80;
+  FrequencyOptimizer opt(cfg);
+  Rng rng(11);
+  const OptimizerResult result = opt.optimize_annealed(anneal, rng);
+  ASSERT_EQ(result.offsets_hz.size(), 32u);
+  EXPECT_EQ(result.offsets_hz.front(), 0.0) << "reference tone stays at 0";
+  std::set<long long> distinct;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < result.offsets_hz.size(); ++i) {
+    const double f = result.offsets_hz[i];
+    EXPECT_EQ(f, std::floor(f)) << "integer lattice";
+    distinct.insert(std::llround(f));
+    sum_sq += f * f;
+    if (i > 0) EXPECT_GT(f, result.offsets_hz[i - 1]) << "sorted ascending";
+  }
+  EXPECT_EQ(distinct.size(), result.offsets_hz.size());
+  const double rms = std::sqrt(sum_sq / 32.0);
+  EXPECT_LE(rms, cfg.constraint.rms_limit_hz());
+  EXPECT_EQ(result.rms_hz, rms);
+  EXPECT_GT(result.score, 0.0);
+  EXPECT_GT(result.evaluations, 2u);
+}
+
+TEST(AnnealedOptimizerTest, AnnealingImprovesOnTheStartSet) {
+  // The search must not return something worse than its own start: best is
+  // tracked across the walk, so score >= the first evaluation.
+  OptimizerConfig cfg;
+  cfg.num_antennas = 24;
+  cfg.mc_trials = 8;
+  cfg.restarts = 1;
+  FrequencyOptimizer opt(cfg);
+  AnnealConfig none;
+  none.moves = 0;
+  Rng rng_a(3);
+  const double start_score = opt.optimize_annealed(none, rng_a).score;
+  AnnealConfig anneal;
+  anneal.moves = 120;
+  Rng rng_b(3);
+  const OptimizerResult searched = opt.optimize_annealed(anneal, rng_b);
+  EXPECT_GE(searched.score, start_score);
+}
+
+TEST(AnnealedOptimizerTest, InfeasibleConstraintThrowsWithContext) {
+  // n = 10 distinct integers need RMS >= sqrt(285/10) ~ 5.34 Hz; an 800 ms
+  // query duration caps RMS at ~0.199 Hz — mathematically impossible.
+  OptimizerConfig cfg;
+  cfg.num_antennas = 10;
+  cfg.mc_trials = 4;
+  cfg.constraint.query_duration_s = 0.8;
+  FrequencyOptimizer opt(cfg);
+  AnnealConfig anneal;
+  Rng rng(1);
+  try {
+    (void)opt.optimize_annealed(anneal, rng);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no feasible offset set"), std::string::npos) << what;
+    EXPECT_NE(what.find("10 distinct"), std::string::npos) << what;
+    EXPECT_NE(what.find("query_duration_s"), std::string::npos) << what;
+  }
+  // The classic hill-climb shares the guard (its random_feasible would
+  // otherwise loop forever).
+  Rng rng2(1);
+  EXPECT_THROW((void)opt.optimize(rng2), std::invalid_argument);
+}
+
+TEST(AnnealedOptimizerTest, TightButFeasibleConstraintFallsBackToRamp) {
+  // Limit just above the mathematical minimum (~5.34 Hz at n = 10):
+  // rejection sampling has essentially no feasible mass, so the bounded
+  // sampler must fall back to a deterministic feasible ramp instead of
+  // spinning or throwing.
+  OptimizerConfig cfg;
+  cfg.num_antennas = 10;
+  cfg.mc_trials = 4;
+  cfg.iterations = 5;
+  cfg.restarts = 1;
+  cfg.constraint.query_duration_s = 0.0289;  // limit ~5.51 Hz
+  ASSERT_GT(cfg.constraint.rms_limit_hz(), 5.34);
+  ASSERT_LT(cfg.constraint.rms_limit_hz(), 6.0);
+  FrequencyOptimizer opt(cfg);
+  Rng rng(5);
+  const OptimizerResult result = opt.optimize(rng);
+  ASSERT_EQ(result.offsets_hz.size(), 10u);
+  EXPECT_LE(result.rms_hz, cfg.constraint.rms_limit_hz());
+  std::set<long long> distinct;
+  for (double f : result.offsets_hz) distinct.insert(std::llround(f));
+  EXPECT_EQ(distinct.size(), 10u);
+
+  AnnealConfig anneal;
+  anneal.moves = 20;
+  Rng rng2(5);
+  const OptimizerResult annealed = opt.optimize_annealed(anneal, rng2);
+  EXPECT_LE(annealed.rms_hz, cfg.constraint.rms_limit_hz());
+}
+
+// ------------------------------------------------------------- plan store
+
+std::string temp_plan_journal(const std::string& name) {
+  return testing::TempDir() + "freq_plans_" + name + ".jsonl";
+}
+
+TEST(PlanStoreTest, RePlanIsAJournalHitWithZeroEvaluations) {
+  const std::string path = temp_plan_journal("replan");
+  std::remove(path.c_str());
+  CellCache::instance().clear();
+
+  FrequencyPlanRequest request;
+  request.antennas = 16;
+  request.mc_trials = 4;
+  request.moves = 30;
+  request.restarts = 1;
+
+  obs::MetricsRegistry first_metrics;
+  obs::install({.metrics = &first_metrics, .tracer = nullptr});
+  const FrequencyPlanOutcome first = plan_frequencies(request, path);
+  obs::install_null();
+  EXPECT_FALSE(first.cached);
+  EXPECT_GT(first.evaluations, 0u);
+  ASSERT_EQ(first.offsets_hz.size(), 16u);
+  EXPECT_GT(first.score, 0.0);
+  {
+    const std::string snapshot = first_metrics.snapshot_json();
+    EXPECT_NE(snapshot.find("planner.cache.misses"), std::string::npos);
+    EXPECT_NE(snapshot.find("planner.evals"), std::string::npos);
+    EXPECT_NE(snapshot.find("planner.plan.seconds"), std::string::npos);
+  }
+
+  // Simulate a process restart: wipe the in-memory memo, keep the journal.
+  CellCache::instance().clear();
+
+  obs::MetricsRegistry second_metrics;
+  obs::install({.metrics = &second_metrics, .tracer = nullptr});
+  const FrequencyPlanOutcome again = plan_frequencies(request, path);
+  obs::install_null();
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.evaluations, 0u) << "a hit must not evaluate anything";
+  EXPECT_EQ(again.plan_json, first.plan_json)
+      << "the stored plan record is byte-identical across the restart";
+  EXPECT_EQ(again.scenario_hash, first.scenario_hash);
+  EXPECT_TRUE(bit_equal(again.score, first.score))
+      << "JsonWriter doubles round-trip exactly";
+  EXPECT_EQ(again.offsets_hz, first.offsets_hz);
+  {
+    const std::string snapshot = second_metrics.snapshot_json();
+    EXPECT_NE(snapshot.find("planner.cache.hits"), std::string::npos);
+    EXPECT_EQ(snapshot.find("planner.evals"), std::string::npos)
+        << "zero objective evaluations on the hit path";
+    EXPECT_EQ(snapshot.find("planner.moves"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PlanStoreTest, MemoHitWithoutJournalWithinOneProcess) {
+  CellCache::instance().clear();
+  FrequencyPlanRequest request;
+  request.antennas = 8;
+  request.mc_trials = 4;
+  request.moves = 16;
+  request.restarts = 1;
+  const FrequencyPlanOutcome first = plan_frequencies(request);
+  EXPECT_FALSE(first.cached);
+  const FrequencyPlanOutcome again = plan_frequencies(request);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.plan_json, first.plan_json);
+}
+
+TEST(PlanStoreTest, ContentHashSeparatesScenarios) {
+  // Any parameter change re-plans; the hash is a pure function of the
+  // canonical parameter set.
+  FrequencyPlanRequest a;
+  a.antennas = 8;
+  FrequencyPlanRequest b = a;
+  b.seed = a.seed + 1;
+  FrequencyPlanRequest c = a;
+  c.mc_trials = a.mc_trials + 1;
+  const std::uint64_t ha = freq_plan_cell(a).content_hash();
+  EXPECT_EQ(ha, freq_plan_cell(a).content_hash());
+  EXPECT_NE(ha, freq_plan_cell(b).content_hash());
+  EXPECT_NE(ha, freq_plan_cell(c).content_hash());
+}
+
+TEST(PlanStoreTest, HitConsumesNoRandomness) {
+  // The hit path must not touch any RNG: planning twice and drawing from a
+  // seeded generator afterwards gives the same value as planning once.
+  // (plan_frequencies owns its RNG internally, so the global determinism
+  // proxy is the stored record: a hit returns the journal bytes verbatim
+  // and spends zero evaluations — checked above — and repeated hits are
+  // stable.)
+  CellCache::instance().clear();
+  FrequencyPlanRequest request;
+  request.antennas = 6;
+  request.mc_trials = 2;
+  request.moves = 8;
+  request.restarts = 1;
+  const FrequencyPlanOutcome first = plan_frequencies(request);
+  const FrequencyPlanOutcome h1 = plan_frequencies(request);
+  const FrequencyPlanOutcome h2 = plan_frequencies(request);
+  EXPECT_TRUE(h1.cached);
+  EXPECT_TRUE(h2.cached);
+  EXPECT_EQ(h1.plan_json, first.plan_json);
+  EXPECT_EQ(h2.plan_json, first.plan_json);
+}
+
+// ------------------------------------------------------------ service kPlan
+
+TEST(PlanServiceTest, PlanDigestInvariantAcrossWorkerCounts) {
+  // The kPlan response (and so the service digest) must be a pure function
+  // of the request, whatever the worker count and whether the plan came
+  // from the search or the store.
+  auto run_plan = [](std::size_t workers) {
+    CellCache::instance().clear();
+    svc::ServiceConfig config;
+    config.workers = workers;
+    std::vector<svc::Response> captured;
+    std::mutex mutex;
+    svc::InventoryService service(config, [&](const svc::Response& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      captured.push_back(r);
+    });
+    svc::Request request;
+    request.kind = svc::RequestKind::kPlan;
+    request.id = 42;
+    request.seed = 7;
+    request.antennas = 6;
+    EXPECT_TRUE(service.submit(request));
+    service.stop();
+    EXPECT_EQ(captured.size(), 1u);
+    return captured.empty() ? 0u : svc::response_hash(captured.front());
+  };
+  const std::uint64_t reference = run_plan(1);
+  EXPECT_NE(reference, 0u);
+  for (const std::size_t workers : {2u, 8u}) {
+    EXPECT_EQ(run_plan(workers), reference) << "workers " << workers;
+  }
+  // And a cache-served plan hashes identically to a computed one: repeat
+  // without clearing the memo.
+  svc::ServiceConfig config;
+  config.workers = 2;
+  std::vector<svc::Response> captured;
+  std::mutex mutex;
+  svc::InventoryService service(config, [&](const svc::Response& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    captured.push_back(r);
+  });
+  svc::Request request;
+  request.kind = svc::RequestKind::kPlan;
+  request.id = 42;
+  request.seed = 7;
+  request.antennas = 6;
+  EXPECT_TRUE(service.submit(request));
+  service.stop();
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(svc::response_hash(captured.front()), reference)
+      << "a store-served plan is indistinguishable from a computed one";
+}
+
+}  // namespace
+}  // namespace ivnet

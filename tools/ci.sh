@@ -9,7 +9,10 @@
 # unsaturated — run with live telemetry attached: the time-series JSONL is
 # schema-checked, the flight-recorder dump is validated as Chrome trace
 # JSON, and every captured tail-latency exemplar must replay to its
-# recorded response hash — a small
+# recorded response hash — a large-N planner stage (delta evaluator
+# memcmp-gated against the full rebuild and a naive double-precision
+# oracle, then a plan/re-plan pair across fresh processes whose stored plan
+# JSONs must cmp equal with zero evaluations on the hit) — a small
 # traced sweep whose metrics/trace artifacts are archived and smoke-checked
 # as JSON, a campaign kill-and-resume determinism check (SIGKILL mid-run,
 # resume from the journal, byte-compare against an uninterrupted run across
@@ -176,6 +179,68 @@ else
   }
 fi
 
+echo "=== ci: large-N planner delta-eval gates ==="
+# bench_x1 sweeps N in {10, 32, 64, 128}: the delta evaluator's score must
+# be memcmp-identical to the retained full rebuild AND agree with an
+# independent double-precision naive evaluation to 1e-6 relative — an exit
+# code 1 is a correctness bug. Speedup/anneal timings are informational.
+if ! build-ci/bench/bench_x1_freq_optimizer "$ARTIFACT_DIR/BENCH_planner.json"; then
+  echo "ci: delta evaluator diverged from the full/naive oracle" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT_DIR/BENCH_planner.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["gates_ok"], "planner score-identity gate failed"
+print(f"ci: planner sweep ({bench['mc_trials']} trials)")
+print(f"  {'N':>4} {'steps':>7} {'naive ms/eval':>14} {'delta ms/move':>14} "
+      f"{'speedup':>8} {'anneal s':>9}")
+for r in bench["rows"]:
+    assert r["memcmp_identical"], f"delta != full rebuild at N={r['n']}"
+    assert r["naive_rel_err"] <= 1e-6, f"naive disagreement at N={r['n']}"
+    print(f"  {r['n']:>4} {r['steps']:>7} {r['naive_eval_s']*1e3:>14.2f} "
+          f"{r['delta_move_s']*1e3:>14.3f} {r['speedup']:>7.0f}x "
+          f"{r['anneal_s']:>9.2f}")
+PY
+fi
+
+echo "=== ci: plan store re-plan determinism ==="
+# Plan, then re-plan the identical scenario in a FRESH process sharing the
+# journal: run two must be a cache hit (zero objective evaluations — no
+# planner.evals counter at all) and its --out plan JSON must be
+# byte-identical to run one's.
+PLAN_DIR="$ARTIFACT_DIR/plans"
+mkdir -p "$PLAN_DIR"
+rm -f "$PLAN_DIR/plans.jsonl"
+build-ci/tools/ivnet plan --antennas 24 --trials 8 --moves 60 --restarts 2 \
+    --journal "$PLAN_DIR/plans.jsonl" --out "$PLAN_DIR/plan_first.json" \
+    --metrics-out "$PLAN_DIR/plan_first_metrics.json"
+build-ci/tools/ivnet plan --antennas 24 --trials 8 --moves 60 --restarts 2 \
+    --journal "$PLAN_DIR/plans.jsonl" --out "$PLAN_DIR/plan_second.json" \
+    --metrics-out "$PLAN_DIR/plan_second_metrics.json"
+cmp "$PLAN_DIR/plan_first.json" "$PLAN_DIR/plan_second.json" || {
+  echo "ci: re-planned JSON differs from the first plan" >&2
+  exit 1
+}
+grep -q 'planner.cache.misses' "$PLAN_DIR/plan_first_metrics.json" || {
+  echo "ci: first plan did not record a cache miss" >&2
+  exit 1
+}
+grep -q 'planner.evals' "$PLAN_DIR/plan_first_metrics.json" || {
+  echo "ci: first plan recorded no objective evaluations" >&2
+  exit 1
+}
+grep -q 'planner.cache.hits' "$PLAN_DIR/plan_second_metrics.json" || {
+  echo "ci: re-plan was not served from the plan store" >&2
+  exit 1
+}
+if grep -q 'planner.evals' "$PLAN_DIR/plan_second_metrics.json"; then
+  echo "ci: re-plan spent objective evaluations despite the store hit" >&2
+  exit 1
+fi
+echo "ci: re-plan served from the journal, 0 evaluations, byte-identical plan"
+
 echo "=== ci: exemplar deterministic replay ==="
 # Responses are pure functions of (request, seed): every tail-latency
 # exemplar the soak captured must re-execute to its recorded response hash
@@ -197,8 +262,8 @@ echo "=== ci: Debug spot-check (input validation with asserts enabled) ==="
 # the fir design validation used to vanish. Pin that the throwing contract
 # and the DSP/campaign suites hold in an assert-enabled Debug build too.
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test svc_test loadgen_test obs_test telemetry_test
-ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test|svc_test|loadgen_test|obs_test|telemetry_test'
+cmake --build build-debug -j "$JOBS" --target signal_test dsp_test dsp_fastpath_test campaign_test batch_pipeline_test svc_test loadgen_test obs_test telemetry_test freq_planner_test
+ctest --test-dir build-debug --output-on-failure -R 'signal_test|dsp_test|dsp_fastpath_test|campaign_test|batch_pipeline_test|svc_test|loadgen_test|obs_test|telemetry_test|freq_planner_test'
 
 echo "=== ci: traced sweep artifacts ==="
 mkdir -p "$ARTIFACT_DIR"

@@ -1,6 +1,10 @@
 // ivnet — command-line front end to the IVN reproduction.
 //
-//   ivnet plan     [--antennas N] [--json]    run the Eq. 10 optimizer
+//   ivnet plan     [--antennas N] [--trials K] [--moves M] [--restarts R]
+//                  [--seed S] [--journal FILE] [--out FILE] [--json]
+//                  run the Eq. 10 planner through the content-hashed plan
+//                  store (an identical request is a cache hit: zero
+//                  objective evaluations, byte-identical stored plan)
 //   ivnet media    [--json]                   dielectric property table
 //   ivnet range    --tag std|mini --medium air|water [--antennas N] [--json]
 //   ivnet session  --scenario air|water|gastric|subcut [--tag std|mini]
@@ -100,36 +104,64 @@ TagConfig tag_from(const Args& args) {
   return args.get("tag", "std") == "mini" ? miniature_tag() : standard_tag();
 }
 
-int cmd_plan(const Args& args) {
-  OptimizerConfig cfg;
-  cfg.num_antennas =
-      static_cast<std::size_t>(args.get_num("antennas", 10));
-  cfg.mc_trials = 48;
-  cfg.iterations = 120;
-  cfg.restarts = 2;
-  FrequencyOptimizer optimizer(cfg);
-  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 7)));
-  const auto result = optimizer.optimize(rng);
+bool write_file(const std::string& path, const std::string& text);
 
+int cmd_plan(const Args& args) {
+  // The Eq. 10 search through the plan store: with --journal, an identical
+  // request is served from the journal with zero objective evaluations (and
+  // a byte-identical stored plan record — `--out` writes it verbatim, so
+  // two runs' outputs `cmp` equal). Without --journal the plan is still
+  // memoized for this process.
+  FrequencyPlanRequest request;
+  request.antennas = static_cast<std::size_t>(
+      std::max(2.0, args.get_num("antennas", 10)));
+  request.mc_trials = static_cast<std::size_t>(
+      std::max(1.0, args.get_num("trials", 48)));
+  request.moves = static_cast<std::size_t>(
+      std::max(1.0, args.get_num("moves", 400)));
+  request.restarts = static_cast<std::size_t>(
+      std::max(1.0, args.get_num("restarts", 2)));
+  request.seed = static_cast<std::uint64_t>(args.get_num("seed", 7));
+
+  FrequencyPlanOutcome plan;
+  try {
+    plan = plan_frequencies(request, args.get("journal", ""));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ivnet plan: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !write_file(out, plan.plan_json + "\n")) return 1;
+
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(plan.scenario_hash));
   if (args.has("json")) {
     JsonWriter w;
     w.begin_object();
-    w.field("antennas", cfg.num_antennas);
-    w.field("rms_limit_hz", cfg.constraint.rms_limit_hz());
+    w.field("antennas", request.antennas);
     w.key("offsets_hz").begin_array();
-    for (double f : result.offsets_hz) w.value(f);
+    for (double f : plan.offsets_hz) w.value(f);
     w.end_array();
-    w.field("expected_peak_amplitude", result.score);
-    w.field("rms_hz", result.rms_hz);
+    w.field("expected_peak_amplitude", plan.score);
+    w.field("rms_hz", plan.rms_hz);
+    w.field("rms_limit_hz", request.constraint.rms_limit_hz());
+    w.field("evaluations", plan.evaluations);
+    w.field("cached", plan.cached);
+    w.field("scenario_hash", hash_hex);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
     return 0;
   }
   std::printf("offsets [Hz]:");
-  for (double f : result.offsets_hz) std::printf(" %.0f", f);
+  for (double f : plan.offsets_hz) std::printf(" %.0f", f);
   std::printf("\nE[peak] = %.2f / %zu, RMS %.1f Hz (limit %.1f Hz)\n",
-              result.score, cfg.num_antennas, result.rms_hz,
-              cfg.constraint.rms_limit_hz());
+              plan.score, request.antennas, plan.rms_hz,
+              request.constraint.rms_limit_hz());
+  std::printf("plan %s: %s (%zu evaluations)\n", hash_hex,
+              plan.cached ? "served from plan store" : "computed",
+              plan.evaluations);
   return 0;
 }
 
@@ -611,6 +643,7 @@ int cmd_serve(const Args& args) {
   svc::ServiceConfig config;
   config.workers = workers;
   config.queue_depth = queue_depth;
+  config.plan_journal_path = args.get("plan-journal", "");
 
   // Live telemetry bundle: rolling windows + exemplars when any consumer
   // asked for them, flight recorder when a dump path is given. The sim
@@ -901,7 +934,11 @@ int cmd_replay_exemplar(const Args& args) {
 int cmd_help() {
   std::printf(
       "ivnet — In-Vivo Networking (SIGCOMM'18) reproduction CLI\n\n"
-      "  plan     [--antennas N] [--json]   Eq. 10 frequency optimizer\n"
+      "  plan     [--antennas N] [--trials K] [--moves M] [--restarts R]\n"
+      "           [--seed S] [--journal FILE] [--out FILE] [--json]\n"
+      "           Eq. 10 planner via the content-hashed plan store (an\n"
+      "           identical request re-plans for free: zero evaluations,\n"
+      "           byte-identical plan JSON — `--out` files cmp equal)\n"
       "  media    [--json]                  dielectric property table\n"
       "  range    --tag std|mini --medium air|water [--antennas N]\n"
       "  session  --scenario air|water|gastric|subcut [--tag std|mini]\n"
@@ -927,6 +964,7 @@ int cmd_help() {
       "           [--exemplars-out FILE]      K-slowest exemplars (JSONL)\n"
       "           [--flight-out FILE]         flight-recorder Chrome trace\n"
       "           [--follow]                  top-style live status lines\n"
+      "           [--plan-journal FILE]       durable kPlan plan store\n"
       "  replay-exemplar --in FILE [--id N | --index K] [--json]\n"
       "           re-execute captured exemplars; response hash must match\n\n"
       "global: --metrics-out FILE  --trace-out FILE  --trace-clock sim|wall\n"
